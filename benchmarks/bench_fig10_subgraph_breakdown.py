@@ -1,0 +1,47 @@
+"""Figure 10 — execution-time breakdown by subgraph over the scaling runs.
+
+Expected shape (paper §6.1.2): L2L costs a notable share despite being
+the smallest component (sparse-iteration latency and global messaging);
+the EH2EH share shrinks at larger scales thanks to the partitioning and
+sub-iteration direction optimization.
+"""
+
+from conftest import emit
+
+from repro.analysis.breakdown import stack_series
+from repro.analysis.reporting import ascii_table, write_csv
+
+PHASES = ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L", "reduce", "other"]
+
+
+def test_fig10_subgraph_breakdown(benchmark, scaling_sweep, results_dir):
+    points = benchmark.pedantic(lambda: scaling_sweep, rounds=1, iterations=1)
+    data = [(p.nodes, p.result.time_by_phase()) for p in points]
+    xs, cats, series = stack_series(data)
+
+    rows = []
+    for phase in PHASES:
+        if phase not in series:
+            continue
+        rows.append([phase] + [f"{100 * v:.1f}%" for v in series[phase]])
+    table = ascii_table(
+        ["phase"] + [f"{x} nodes" for x in xs],
+        rows,
+        title="Fig. 10 (reproduced): time share by subgraph over scaling",
+    )
+    emit(results_dir, "fig10_subgraph_breakdown", table)
+    write_csv(
+        results_dir / "fig10_subgraph_breakdown.csv",
+        ["phase"] + [str(x) for x in xs],
+        [[phase] + series[phase] for phase in series],
+    )
+
+    # Shape assertions.
+    l2l = series.get("L2L", [0.0] * len(xs))
+    arcs = {n: p.partition.components for n, p in zip(xs, points)}
+    smallest_is_l2l_heavy = l2l[-1] > 0.05
+    assert smallest_is_l2l_heavy, "L2L should cost a notable share (paper §6.1.2)"
+    # EH2EH holds the majority of edges but not the majority of time.
+    eh = series.get("EH2EH", [0.0] * len(xs))
+    assert eh[-1] < 0.5
+    benchmark.extra_info["l2l_share_at_largest"] = round(l2l[-1], 3)

@@ -1,0 +1,42 @@
+"""Figure 11 — time breakdown by communication type over the scaling runs.
+
+Expected shape (paper §6.1.2): communication share grows with scale, led
+by alltoallv (remote-edge messaging) and reduce-scatter (delegate sync /
+parent reduction); the imbalance component stays roughly flat thanks to
+the partitioning's balance.
+"""
+
+from conftest import emit
+
+from repro.analysis.breakdown import stack_series
+from repro.analysis.reporting import ascii_table, write_csv
+
+
+def test_fig11_comm_breakdown(benchmark, scaling_sweep, results_dir):
+    points = benchmark.pedantic(lambda: scaling_sweep, rounds=1, iterations=1)
+    data = [(p.nodes, p.result.time_by_category()) for p in points]
+    xs, cats, series = stack_series(data)
+
+    rows = [
+        [cat] + [f"{100 * v:.1f}%" for v in series[cat]] for cat in cats
+    ]
+    table = ascii_table(
+        ["category"] + [f"{x} nodes" for x in xs],
+        rows,
+        title="Fig. 11 (reproduced): time share by communication type",
+    )
+    emit(results_dir, "fig11_comm_breakdown", table)
+    write_csv(
+        results_dir / "fig11_comm_breakdown.csv",
+        ["category"] + [str(x) for x in xs],
+        [[cat] + series[cat] for cat in cats],
+    )
+
+    # Shape assertions: communication share grows with node count.
+    comm_cats = [c for c in cats if c not in ("compute", "imbalance/latency")]
+    comm_share = [sum(series[c][i] for c in comm_cats) for i in range(len(xs))]
+    assert comm_share[-1] > comm_share[0]
+    # alltoallv and reduce_scatter are the main communication costs.
+    main = sorted(comm_cats, key=lambda c: -series[c][-1])[:2]
+    assert set(main) <= {"alltoallv", "reduce_scatter", "allgather"}
+    benchmark.extra_info["comm_share"] = [round(s, 3) for s in comm_share]

@@ -1,0 +1,72 @@
+"""Figure 14 — throughput of bucketing implementations.
+
+The paper buckets 4 GB of uniform 64-bit integers by their low 8 bits and
+reports 0.0406 GB/s (sequential MPE), 12.5 GB/s (one CG with OCS-RMA),
+and 58.6 GB/s (six CGs) — 47.0% memory-bandwidth utilization and 1443x
+over the MPE.  The reproduction runs the same microbenchmark through the
+functional OCS-RMA simulator on a laptop-sized slice of the stream (the
+kernel is stream-oblivious: throughput is volume-independent beyond
+warmup, and the simulator's event counts scale linearly).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.analysis.reporting import ascii_bar_chart, write_csv
+from repro.sort.bucket import mpe_bucket_sort
+from repro.sort.ocs import OCSConfig, simulate_ocs_rma
+
+NUM_INTS = 1 << 22  # 32 MiB slice of the paper's 4 GB stream
+NUM_BUCKETS = 256
+
+
+def test_fig14_ocs_throughput(benchmark, results_dir):
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 2**63 - 1, size=NUM_INTS)
+    buckets = values & 0xFF
+
+    def run():
+        mpe = mpe_bucket_sort(values, buckets, NUM_BUCKETS)
+        one = simulate_ocs_rma(values, buckets, NUM_BUCKETS, config=OCSConfig(num_cgs=1))
+        six = simulate_ocs_rma(values, buckets, NUM_BUCKETS, config=OCSConfig(num_cgs=6))
+        return mpe, one, six
+
+    mpe, one, six = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    gbps = {
+        "MPE": mpe.throughput_bytes_per_s / 1e9,
+        "1 CG": one.throughput_bytes_per_s / 1e9,
+        "6 CGs": six.throughput_bytes_per_s / 1e9,
+    }
+    chart = ascii_bar_chart(
+        list(gbps),
+        list(gbps.values()),
+        log=True,
+        unit=" GB/s",
+        title=(
+            "Fig. 14 (reproduced): bucketing throughput "
+            "(paper: 0.0406 / 12.5 / 58.6 GB/s)"
+        ),
+    )
+    util = six.bandwidth_utilization()
+    chart += f"\n6-CG memory-bandwidth utilization: {100 * util:.1f}% (paper: 47.0%)"
+    chart += f"\n6-CG speedup over MPE: {gbps['6 CGs'] / gbps['MPE']:.0f}x (paper: 1443x)"
+    emit(results_dir, "fig14_ocs_throughput", chart)
+    write_csv(
+        results_dir / "fig14_ocs_throughput.csv",
+        ["implementation", "gbps"],
+        [[k, v] for k, v in gbps.items()],
+    )
+
+    # Shape assertions against the paper's anchors.
+    assert abs(gbps["MPE"] - 0.0406) / 0.0406 < 0.10
+    assert abs(gbps["1 CG"] - 12.5) / 12.5 < 0.25
+    assert abs(gbps["6 CGs"] - 58.6) / 58.6 < 0.25
+    assert 0.38 < util < 0.50
+    assert 900 < gbps["6 CGs"] / gbps["MPE"] < 2000
+    # functional correctness of the kernel output
+    for b in range(NUM_BUCKETS):
+        sl = six.values[six.offsets[b] : six.offsets[b + 1]]
+        assert np.all((sl & 0xFF) == b)
+    benchmark.extra_info["gbps"] = {k: round(v, 2) for k, v in gbps.items()}

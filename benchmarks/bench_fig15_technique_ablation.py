@@ -1,0 +1,59 @@
+"""Figure 15 — time breakdown across optimization levels.
+
+Three levels on the same workload (paper: SCALE 35 on 256 nodes):
+(a) Baseline — vanilla whole-iteration direction optimization, no
+segmenting; (b) + Sub-Iter. — per-component direction selection; (c)
++ Segment. — plus CG-aware core subgraph segmenting.
+
+Expected shape: sub-iteration direction reduces the time spent pushing
+the E/H-related subgraphs (replaced by cheaper pulls); segmenting then
+cuts the EH2EH pull kernel ~9x.
+"""
+
+from conftest import emit
+
+from repro.analysis.breakdown import ablation_breakdown
+from repro.analysis.experiments import run_ablation
+from repro.analysis.reporting import ascii_table, format_seconds, write_csv
+
+SCALE, ROWS, COLS = 16, 16, 16
+
+
+def test_fig15_technique_ablation(benchmark, results_dir):
+    runs = benchmark.pedantic(
+        lambda: run_ablation(scale=SCALE, rows=ROWS, cols=COLS),
+        rounds=1,
+        iterations=1,
+    )
+    labels, cats, series = ablation_breakdown(runs)
+
+    rows = [
+        [cat] + [format_seconds(series[cat][i]) for i in range(len(labels))]
+        for cat in cats
+    ]
+    totals = [sum(series[c][i] for c in cats) for i in range(len(labels))]
+    rows.append(["TOTAL"] + [format_seconds(t) for t in totals])
+    table = ascii_table(
+        ["component"] + labels,
+        rows,
+        title=(
+            f"Fig. 15 (reproduced): ablation at SCALE {SCALE}, "
+            f"{ROWS * COLS} nodes"
+        ),
+    )
+    emit(results_dir, "fig15_technique_ablation", table)
+    write_csv(
+        results_dir / "fig15_technique_ablation.csv",
+        ["category"] + labels,
+        [[cat] + [series[cat][i] for i in range(len(labels))] for cat in cats],
+    )
+
+    by = {label: dict(bd) for label, bd in runs}
+    base, sub, seg = (by[k] for k in ("Baseline", "+ Sub-Iter.", "+ Segment."))
+
+    # Segmenting cuts the EH2EH pull kernel (9x rate difference).
+    if sub["EH2EH pull"] > 0:
+        assert seg["EH2EH pull"] < sub["EH2EH pull"]
+    # Full system is the fastest level.
+    assert totals[2] <= totals[0] * 1.02
+    benchmark.extra_info["totals_seconds"] = [round(t, 9) for t in totals]

@@ -1,0 +1,48 @@
+"""Figure 9 — weak scalability of the 1.5D BFS.
+
+The paper scales 256 -> 103,912 nodes (SCALE 35 -> 44) and reports 52%
+relative parallel efficiency at the top.  The reproduction ladder keeps
+per-rank work constant (see DESIGN.md for the work-scale extrapolation);
+the expected shape is near-linear GTEPS growth with efficiency above
+~40% at the largest point relative to the smallest.
+"""
+
+from conftest import emit, ladder
+
+from repro.analysis.experiments import run_scaling_sweep
+from repro.analysis.reporting import ascii_table, write_csv
+
+
+def test_fig9_weak_scaling(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: run_scaling_sweep(points=ladder()), rounds=1, iterations=1
+    )
+
+    base = points[0]
+    rows = []
+    for p in points:
+        ideal = base.gteps * (p.nodes / base.nodes)
+        eff = p.gteps / ideal
+        rows.append(
+            [p.nodes, p.scale, f"{p.gteps:.1f}", f"{ideal:.1f}", f"{100 * eff:.0f}%"]
+        )
+    table = ascii_table(
+        ["nodes", "scale", "sim GTEPS", "ideal GTEPS", "efficiency"],
+        rows,
+        title="Fig. 9 (reproduced): weak scalability of the 1.5D engine",
+    )
+    emit(results_dir, "fig9_weak_scaling", table)
+    write_csv(
+        results_dir / "fig9_weak_scaling.csv",
+        ["nodes", "scale", "gteps", "seconds"],
+        [[p.nodes, p.scale, p.gteps, p.seconds] for p in points],
+    )
+
+    # Shape assertions: monotone growth, reasonable efficiency.
+    gteps = [p.gteps for p in points]
+    assert all(b > a for a, b in zip(gteps, gteps[1:]))
+    largest = points[-1]
+    eff = largest.gteps / (base.gteps * largest.nodes / base.nodes)
+    assert eff > 0.25, f"parallel efficiency collapsed: {eff:.2f}"
+    benchmark.extra_info["efficiency_at_largest"] = round(eff, 3)
+    benchmark.extra_info["gteps"] = [round(g, 1) for g in gteps]

@@ -1,0 +1,71 @@
+"""§6.1.1's network claim, quantified.
+
+"Traditionally communication is considered the bottleneck ... performance
+is expected to hurt a lot due to the 8x fat-tree oversubscription ...
+But with our 3-level degree-aware 1.5D partitioning, we greatly reduce
+the network traffic crossing supernodes, avoiding the bottleneck in the
+top-level tree network."
+
+This bench sweeps the oversubscription factor from 1x (full bisection)
+to 16x and reports each scheme's slowdown relative to its own 1x time.
+Expected shape: the 1.5D engine's slowdown stays small (its H delegation
+keeps remote-edge messaging intra-supernode); vanilla 1D — whose per-edge
+messages are global — degrades the most.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import ascii_table, write_csv
+from repro.analysis.sweeps import run_oversubscription_sweep
+
+FACTORS = (1.0, 4.0, 8.0, 16.0)
+
+
+def test_oversubscription_sensitivity(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_oversubscription_sweep(factors=FACTORS), rounds=1, iterations=1
+    )
+    methods = sorted({r["method"] for r in rows})
+    base = {
+        m: next(
+            r["seconds"]
+            for r in rows
+            if r["method"] == m and r["oversubscription"] == 1.0
+        )
+        for m in methods
+    }
+    slowdown = {
+        (r["method"], r["oversubscription"]): r["seconds"] / base[r["method"]]
+        for r in rows
+    }
+    table = ascii_table(
+        ["method"] + [f"{f:g}x oversub" for f in FACTORS],
+        [
+            [m] + [f"{slowdown[(m, f)]:.2f}x" for f in FACTORS]
+            for m in methods
+        ],
+        title="Slowdown vs full-bisection network (each method vs its own 1x)",
+    )
+    emit(results_dir, "oversubscription_sensitivity", table)
+    write_csv(
+        results_dir / "oversubscription_sensitivity.csv",
+        ["method", "oversubscription", "seconds", "inter_bytes"],
+        [
+            [r["method"], r["oversubscription"], r["seconds"], r["inter_bytes"]]
+            for r in rows
+        ],
+    )
+
+    # Shape: the 1.5D engine tolerates oversubscription better than
+    # vanilla 1D, whose global messaging rides the oversubscribed layer.
+    ours_16 = slowdown[("1.5D (ours)", 16.0)]
+    oned_16 = slowdown[("1D", 16.0)]
+    deleg_16 = slowdown[("1D+delegates", 16.0)]
+    # 1.5D tolerates oversubscription less than half as badly as the
+    # global-messaging 1D schemes (the residual sensitivity is L2L's
+    # two-stage column hop, inflated at toy scale — see EXPERIMENTS.md).
+    assert ours_16 < 0.6 * oned_16
+    assert ours_16 < 0.6 * deleg_16
+    benchmark.extra_info["slowdown_at_16x"] = {
+        m: round(slowdown[(m, 16.0)], 2) for m in methods
+    }

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module.  Heavy experiment runs are
+cached at session scope so Figures 9/10/11 (which share the weak-scaling
+sweep) pay for it once.  Rendered ASCII figures and CSVs are written under
+``results/`` next to this directory.
+
+Set ``REPRO_BENCH_FULL=1`` to extend the weak-scaling ladder with the
+scale-18 / 1024-rank point (a few extra minutes).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def ladder():
+    points = [(12, 4, 4), (14, 8, 8), (16, 16, 16)]
+    if os.environ.get("REPRO_BENCH_FULL"):
+        points.append((18, 32, 32))
+    return tuple(points)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scaling_sweep():
+    """The weak-scaling sweep shared by Figures 9, 10, and 11."""
+    from repro.analysis.experiments import run_scaling_sweep
+
+    return run_scaling_sweep(points=ladder())
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Write a rendered figure and echo it (visible with pytest -s)."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

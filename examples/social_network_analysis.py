@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Partitioning a 'real-world' social network (paper §8's applicability claim).
+
+The paper argues 3-level degree-aware 1.5D partitioning "is designed for
+any graph with extremely skewed degree distribution, which is commonly
+found in social networks, web graphs, etc."  This example builds a
+synthetic social network with a heavier-tailed degree distribution than
+Graph500's (R-MAT with a more aggressive diagonal), classifies its
+celebrity/influencer/regular users into E/H/L, and compares the 1.5D
+engine against the 1D and 2D baselines on the same simulated machine.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.baselines import DelegatedOneDimBFS, OneDimBFS, TwoDimBFS
+from repro.core import BFSConfig, DistributedBFS, partition_graph
+from repro.graph500.rmat import rmat_edges, scramble_vertices
+from repro.graph500.validate import validate_bfs_result
+from repro.graphs.csr import build_csr, symmetrize_edges
+from repro.graphs.stats import degree_peaks, degrees_from_edges
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+SCALE = 15
+EDGE_FACTOR = 24  # denser than Graph500: social graphs average more ties
+
+
+def build_social_graph():
+    """A follower-style graph: heavier diagonal = stronger celebrities."""
+    n = 1 << SCALE
+    rng = np.random.default_rng(7)
+    src, dst = rmat_edges(SCALE, EDGE_FACTOR * n, a=0.62, b=0.17, c=0.17, rng=rng)
+    return scramble_vertices(src, dst, n, rng=rng)
+
+
+def main() -> None:
+    n = 1 << SCALE
+    src, dst = build_social_graph()
+    degrees = degrees_from_edges(src, dst, n)
+    print(f"social graph: {n:,} users, {src.size:,} ties, "
+          f"max degree {degrees.max():,} (celebrity), median "
+          f"{int(np.median(degrees[degrees > 0]))}")
+
+    rows = cols = 8
+    machine = MachineSpec(
+        num_nodes=rows * cols, nodes_per_supernode=cols
+    ).scaled_for(src.size / (rows * cols))
+    mesh = ProcessMesh(rows, cols, machine=machine)
+
+    # Pick thresholds from the degree-distribution valleys, as §6.2.1
+    # prescribes: E above the top mode, H above the mid modes.
+    peaks = degree_peaks(degrees)
+    e_thr = int(peaks[-1] // 2) if peaks.size else 1024
+    h_thr = max(int(peaks[len(peaks) // 2]), 8) if peaks.size else 32
+    if e_thr <= h_thr:
+        e_thr = 4 * h_thr
+    print(f"degree peaks: {peaks.tolist()}; chose E >= {e_thr}, H >= {h_thr}")
+
+    part = partition_graph(src, dst, n, mesh, e_threshold=e_thr, h_threshold=h_thr)
+    sizes = part.class_sizes()
+    print(f"celebrities (E): {sizes['E']}, influencers (H): {sizes['H']}, "
+          f"regular (L): {sizes['L']}")
+
+    graph = build_csr(*symmetrize_edges(src, dst), n)
+    root = int(np.argmax(graph.degrees))
+
+    results = []
+    for label, make in [
+        ("1D", lambda: OneDimBFS(src, dst, n, mesh, machine=machine)),
+        ("1D+delegates", lambda: DelegatedOneDimBFS(src, dst, n, mesh, machine=machine)),
+        ("2D", lambda: TwoDimBFS(src, dst, n, mesh, machine=machine)),
+    ]:
+        res = make().run(root)
+        validate_bfs_result(graph, root, res.parent)
+        results.append((label, res))
+    engine = DistributedBFS(
+        part, machine=machine, config=BFSConfig(e_threshold=e_thr, h_threshold=h_thr)
+    )
+    res = engine.run(root)
+    validate_bfs_result(graph, root, res.parent)
+    results.append(("1.5D (ours)", res))
+
+    print()
+    print(ascii_table(
+        ["method", "sim GTEPS", "iterations", "comm MB"],
+        [
+            [
+                label,
+                f"{src.size / r.total_seconds / 1e9:.1f}",
+                r.num_iterations,
+                f"{r.ledger.total_bytes / 1e6:.2f}",
+            ]
+            for label, r in results
+        ],
+        title="BFS on the social graph (64 simulated nodes):",
+    ))
+    print("\nAll four methods validated against the Graph500 checker.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Weak-scaling study (paper Fig. 9) from the public API.
+
+Scales the simulated machine from 16 to 256 nodes with constant per-rank
+work and plots simulated GTEPS against ideal scaling as an ASCII chart.
+
+Run:  python examples/weak_scaling_study.py
+"""
+
+from repro.analysis.experiments import run_scaling_sweep
+from repro.analysis.reporting import ascii_bar_chart, ascii_table
+
+LADDER = ((12, 4, 4), (14, 8, 8), (16, 16, 16))
+
+
+def main() -> None:
+    print("Running weak-scaling sweep (this takes ~half a minute) ...")
+    points = run_scaling_sweep(points=LADDER)
+
+    base = points[0]
+    rows = []
+    for p in points:
+        ideal = base.gteps * p.nodes / base.nodes
+        rows.append([
+            p.nodes, p.scale, f"{p.gteps:.1f}", f"{ideal:.1f}",
+            f"{100 * p.gteps / ideal:.0f}%",
+        ])
+    print(ascii_table(
+        ["nodes", "scale", "sim GTEPS", "ideal", "efficiency"],
+        rows,
+        title="Weak scalability of the 1.5D engine:",
+    ))
+    print()
+    print(ascii_bar_chart(
+        [f"{p.nodes:4d} nodes" for p in points],
+        [p.gteps for p in points],
+        log=True,
+        unit=" GTEPS",
+        title="simulated GTEPS (log scale):",
+    ))
+
+    print("\nTime share by subgraph at each point (paper Fig. 10):")
+    for p in points:
+        shares = p.result.time_by_phase()
+        total = sum(shares.values()) or 1.0
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+        line = ", ".join(f"{k} {100 * v / total:.0f}%" for k, v in top)
+        print(f"  {p.nodes:4d} nodes: {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of "Scaling Graph Traversal to 281 Trillion Edges
+with 40 Million Cores" (Cao et al., PPoPP 2022).
+
+The package implements the paper's full system on a simulated New Sunway
+machine:
+
+- :mod:`repro.graph500` — spec-conforming R-MAT generation, reference BFS,
+  and result validation.
+- :mod:`repro.graphs` — CSR storage and degree statistics.
+- :mod:`repro.machine` — SW26010-Pro chip and fat-tree interconnect models.
+- :mod:`repro.runtime` — simulated SPMD runtime (process mesh, communicator,
+  traffic ledger).
+- :mod:`repro.sort` — OCS-RMA on-chip sorting, PSRS, PARADIS-style radix.
+- :mod:`repro.core` — the paper's contribution: 3-level degree-aware 1.5D
+  partitioning, sub-iteration direction optimization, CG-aware segmenting,
+  and the distributed BFS engine.
+- :mod:`repro.baselines` — 1D, 1D+heavy-delegates, and 2D BFS engines.
+- :mod:`repro.analysis` — breakdown collection and report rendering.
+
+Quickstart::
+
+    from repro import Graph500Problem, generate_edges
+    from repro.core import BFSConfig, DistributedBFS, partition_graph
+    from repro.machine import MachineSpec
+
+    problem = Graph500Problem(scale=16)
+    src, dst = generate_edges(problem.scale, seed=1)
+    machine = MachineSpec(num_nodes=16)
+    part = partition_graph(src, dst, problem.num_vertices, machine=machine)
+    engine = DistributedBFS(part, machine=machine, config=BFSConfig())
+    result = engine.run(root=0)
+    print(result.simulated_gteps(problem))
+"""
+
+from repro.graph500 import (
+    Graph500Problem,
+    direction_optimizing_bfs,
+    generate_edges,
+    serial_bfs,
+    validate_bfs_result,
+)
+from repro.graphs import CSRGraph, build_csr, symmetrize_edges
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph500Problem",
+    "generate_edges",
+    "serial_bfs",
+    "direction_optimizing_bfs",
+    "validate_bfs_result",
+    "CSRGraph",
+    "build_csr",
+    "symmetrize_edges",
+    "__version__",
+]

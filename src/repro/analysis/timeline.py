@@ -1,0 +1,106 @@
+"""Per-iteration timeline diagnostics for a BFS run.
+
+The figures aggregate over whole runs; when *tuning* (thresholds, direction
+biases) you want to see where each iteration's time went and which
+direction each component chose.  :func:`render_timeline` turns one
+:class:`~repro.core.metrics.BFSRunResult` into a compact text matrix:
+
+```
+iter  frontier   EH2EH     E2L   ...     L2L   | iteration total
+   0         1   push .   push .         push .| 1.2 us
+   2    140817   PULL #   push :         PULL #| 8.7 us
+```
+
+One cell per (iteration, component): the direction (upper-case when the
+component dominated that iteration) and a density glyph for its share of
+the iteration's compute+message time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.reporting import format_seconds
+from repro.core.metrics import BFSRunResult
+from repro.core.subgraphs import COMPONENT_ORDER
+
+__all__ = ["iteration_component_seconds", "render_timeline"]
+
+_GLYPHS = " .:=#"
+
+
+def iteration_component_seconds(result: BFSRunResult) -> list[dict[str, float]]:
+    """Seconds per component per iteration, reconstructed from the ledger.
+
+    Ledger events are appended in execution order, so they are replayed
+    against the iteration trace: each iteration consumes the events its
+    sub-iterations generated (delegate syncs and the final reduction are
+    assigned to ``other``/``reduce`` buckets of the nearest iteration).
+    """
+    per_iter: list[dict[str, float]] = [
+        defaultdict(float) for _ in result.iterations
+    ]
+    if not result.iterations:
+        return []
+    # Walk compute and comm events in order; iteration boundaries are
+    # inferred from the per-iteration scanned-arc trace: every component
+    # event belongs to the iteration whose record mentions it next.
+    events = [
+        (e.phase, e.seconds) for e in result.ledger.compute_events
+    ] + [(e.phase, e.seconds) for e in result.ledger.comm_events]
+    # Without per-event iteration tags we apportion each phase's total
+    # over iterations by that phase's scanned-arc (or message) weight.
+    phase_totals: dict[str, float] = defaultdict(float)
+    for phase, seconds in events:
+        phase_totals[phase] += seconds
+    for phase, total in phase_totals.items():
+        if phase in ("other", "reduce"):
+            # spread uniformly (sync happens every iteration; the final
+            # reduce is charged to the last)
+            if phase == "reduce":
+                per_iter[-1][phase] += total
+            else:
+                share = total / len(per_iter)
+                for row in per_iter:
+                    row[phase] += share
+            continue
+        weights = []
+        for rec in result.iterations:
+            w = rec.scanned_arcs.get(phase, 0) + rec.messages.get(phase, 0)
+            weights.append(float(w))
+        wsum = sum(weights)
+        if wsum <= 0:
+            weights = [1.0] * len(per_iter)
+            wsum = float(len(per_iter))
+        for row, w in zip(per_iter, weights):
+            row[phase] += total * w / wsum
+    return [dict(row) for row in per_iter]
+
+
+def render_timeline(result: BFSRunResult) -> str:
+    """Text matrix: iterations x components with direction + time share."""
+    rows = iteration_component_seconds(result)
+    header = (
+        "iter  frontier  "
+        + "  ".join(f"{name:>7s}" for name in COMPONENT_ORDER)
+        + "  | iteration total"
+    )
+    out = [header, "-" * len(header)]
+    for rec, row in zip(result.iterations, rows):
+        total = sum(row.values()) or 1e-30
+        cells = []
+        for name in COMPONENT_ORDER:
+            seconds = row.get(name, 0.0)
+            share = seconds / total
+            glyph = _GLYPHS[min(int(share * len(_GLYPHS)), len(_GLYPHS) - 1)]
+            direction = rec.directions.get(name, "-")
+            label = {"push": "push", "pull": "pull", "-": "  - "}[direction]
+            if share >= 0.5:
+                label = label.upper()
+            cells.append(f"{label} {glyph}")
+        out.append(
+            f"{rec.index:4d}  {rec.frontier_size:8d}  "
+            + "  ".join(f"{c:>7s}" for c in cells)
+            + f"  | {format_seconds(total)}"
+        )
+    return "\n".join(out)

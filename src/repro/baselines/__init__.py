@@ -1,0 +1,22 @@
+"""Baseline distributed BFS engines (paper §2, Table 1).
+
+Implemented on the same simulated runtime, chip model, and cost model as
+the 1.5D engine, so Table 1-style comparisons measure the partitioning
+scheme and nothing else:
+
+- :class:`~repro.baselines.onedim.OneDimBFS` — vanilla 1D partitioning
+  (Buluc & Madduri style): arcs at the source's owner, per-edge global
+  messaging, full-bitmap allgather for bottom-up.
+- :class:`~repro.baselines.onedim.DelegatedOneDimBFS` — 1D with heavy
+  delegates (Pearce / Checconi / Lin): vertices above one threshold are
+  delegated on every node; its scalability wall is the global delegate
+  set (§2.3).
+- :class:`~repro.baselines.twodim.TwoDimBFS` — 2D partitioning
+  (Yoo / Ueno): all vertices logically delegated on rows and columns;
+  its wall is the O(|V_local| * sqrt(P)) row/column bitmap sync (§2.3).
+"""
+
+from repro.baselines.onedim import DelegatedOneDimBFS, OneDimBFS
+from repro.baselines.twodim import TwoDimBFS
+
+__all__ = ["OneDimBFS", "DelegatedOneDimBFS", "TwoDimBFS"]

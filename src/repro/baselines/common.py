@@ -1,0 +1,234 @@
+"""Shared machinery for the baseline engines.
+
+Every baseline is a :class:`BaselineEngine` subclass that provides:
+
+- its component set (built from :class:`~repro.core.subgraphs.SubgraphComponent`
+  with the scheme's arc placement);
+- per-iteration synchronization charges (``charge_iteration_sync``);
+- message charges for push (``charge_push_messages``) and pull
+  prerequisites (``charge_pull_prereq``);
+- kernel rates per direction.
+
+The loop itself is identical whole-iteration direction-optimized BFS
+(Beamer heuristic — none of the baselines has sub-iteration direction),
+so differences in simulated time come only from the partitioning scheme's
+communication and balance properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.core.direction import choose_whole_iteration_direction
+from repro.core.metrics import BFSRunResult, IterationRecord
+from repro.core.subgraphs import SubgraphComponent
+from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
+from repro.machine.network import MachineSpec
+from repro.runtime.ledger import TrafficLedger
+from repro.runtime.mesh import ProcessMesh
+
+__all__ = ["BaselineEngine"]
+
+
+class BaselineEngine:
+    """Whole-iteration direction-optimized BFS over scheme components."""
+
+    #: Human-readable scheme name (Table 1's "Part. Method" column).
+    scheme = "abstract"
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_vertices: int,
+        mesh: ProcessMesh,
+        machine: MachineSpec | None = None,
+        config: BFSConfig | None = None,
+    ) -> None:
+        self.mesh = mesh
+        self.num_vertices = int(num_vertices)
+        if machine is None:
+            machine = mesh.machine or MachineSpec(num_nodes=mesh.num_ranks)
+        self.machine = machine
+        self.config = config or BFSConfig()
+        self.cost = CostModel(machine)
+        self.rates = NodeKernelRates(chip=machine.chip)
+        self._ws = machine.work_scale
+        self._p = mesh.num_ranks
+        self._block_bytes = -(-mesh.block_size(num_vertices) // 8)
+        from repro.graphs.stats import degrees_from_edges
+
+        self.degrees = degrees_from_edges(src, dst, num_vertices)
+        self.components = self._build_components(src, dst)
+        self.num_input_edges = (
+            sum(c.num_arcs for c in self.components.values()) // 2
+        )
+
+    # ------------------------------------------------------------------
+    # scheme hooks
+    # ------------------------------------------------------------------
+
+    def _build_components(self, src, dst) -> dict[str, SubgraphComponent]:
+        raise NotImplementedError
+
+    def charge_iteration_sync(self, ledger: TrafficLedger, active, visited) -> None:
+        """Frontier/delegate synchronization paid every iteration."""
+        raise NotImplementedError
+
+    def charge_push_messages(self, name, sel, ledger) -> None:
+        """Remote traffic of a top-down sub-step (may be nothing)."""
+        raise NotImplementedError
+
+    def charge_pull_prereq(self, name, ledger, active, visited) -> None:
+        """Remote state needed before a bottom-up sub-step."""
+        raise NotImplementedError
+
+    def charge_parent_reduction(self, ledger) -> None:
+        """End-of-run delegated parent reduction (may be nothing)."""
+        raise NotImplementedError
+
+    def push_rate(self, name) -> float:
+        return self.rates.message_rate(self.config.num_cgs)
+
+    def pull_rate(self, name) -> float:
+        # Baselines lack CG-aware segmenting: GLD-latency bound pulls.
+        return self.rates.pull_rate_unsegmented()
+
+    # ------------------------------------------------------------------
+    # the shared loop
+    # ------------------------------------------------------------------
+
+    def run(self, root: int) -> BFSRunResult:
+        n = self.num_vertices
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} out of range for n={n}")
+        parent = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        active = np.zeros(n, dtype=bool)
+        parent[root] = root
+        visited[root] = True
+        active[root] = True
+
+        ledger = TrafficLedger(self.cost)
+        iterations: list[IterationRecord] = []
+
+        for it in range(self.config.max_iterations):
+            if not active.any():
+                break
+            self.charge_iteration_sync(ledger, active, visited)
+            record = IterationRecord(
+                index=it, frontier_size=int(np.count_nonzero(active))
+            )
+            direction = choose_whole_iteration_direction(
+                active, visited, self.degrees, self.config
+            )
+            next_active = np.zeros(n, dtype=bool)
+            for name, comp in self.components.items():
+                if comp.num_arcs == 0:
+                    record.directions[name] = "-"
+                    continue
+                record.directions[name] = direction
+                if direction == "push":
+                    sel = comp.push_select(active)
+                    per_rank = sel.per_rank(self._p)
+                    record.scanned_arcs[name] = sel.num_arcs
+                    seconds = self.rates.kernel_time(
+                        int(per_rank.max()), self.push_rate(name), self._ws
+                    )
+                    ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+                    if sel.num_arcs:
+                        self.charge_push_messages(name, sel, ledger)
+                    fresh = ~visited[sel.dst]
+                    src_f, dst_f = sel.src[fresh], sel.dst[fresh]
+                    newly, first = np.unique(dst_f, return_index=True)
+                    parents = src_f[first]
+                else:
+                    self.charge_pull_prereq(name, ledger, active, visited)
+                    scan = comp.pull_scan(~visited, active)
+                    record.scanned_arcs[name] = scan.scanned_arcs
+                    seconds = self.rates.kernel_time(
+                        int(scan.scanned_per_rank.max()), self.pull_rate(name), self._ws
+                    )
+                    ledger.charge_compute(
+                        name, f"pull:{name}", scan.scanned_per_rank, seconds
+                    )
+                    newly, parents = scan.hit_dst, scan.hit_src
+                if newly.size:
+                    parent[newly] = parents
+                    visited[newly] = True
+                    next_active[newly] = True
+            record.newly_activated["all"] = int(np.count_nonzero(next_active))
+            iterations.append(record)
+            active = next_active
+
+        self.charge_parent_reduction(ledger)
+        return BFSRunResult(
+            root=root,
+            parent=parent,
+            iterations=iterations,
+            ledger=ledger,
+            total_seconds=ledger.total_seconds,
+            num_input_edges=self.num_input_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # charging helpers shared by schemes
+    # ------------------------------------------------------------------
+
+    def _group_split(self, group: np.ndarray) -> tuple[float, float]:
+        sn = self.mesh.supernode_of_rank(group)
+        if group.size <= 1:
+            return 1.0, 0.0
+        if np.all(sn == sn[0]):
+            return 1.0, 0.0
+        counts = np.bincount(sn)
+        counts = counts[counts > 0]
+        worst_same = int(counts.min())
+        inter = 1.0 - (worst_same - 1) / max(group.size - 1, 1)
+        return 1.0 - inter, inter
+
+    @staticmethod
+    def sync_bytes(bitmap_bits: int, sparse_count: int) -> float:
+        """Wire bytes of a frontier-set exchange: packed bitmap or sparse
+        8-byte IDs, whichever is smaller."""
+        return float(min(-(-bitmap_bits // 8), sparse_count * 8))
+
+    def charge_global_bitmap_allreduce(
+        self, phase: str, ledger: TrafficLedger, num_bits: int, sparse_count: int | None = None
+    ) -> None:
+        """Allreduce (reduce-scatter + allgather) of a shared frontier set."""
+        nbytes = float(-(-num_bits // 8))
+        if sparse_count is not None:
+            nbytes = self.sync_bytes(num_bits, sparse_count)
+        intra_f, inter_f = self._group_split(np.arange(self._p))
+        for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
+            ledger.charge_collective(
+                phase,
+                kind,
+                self._p,
+                nbytes * intra_f,
+                nbytes * inter_f,
+                total_bytes=nbytes * self._p,
+            )
+
+    def charge_global_alltoallv(
+        self, phase: str, send_msgs_per_rank: np.ndarray, ledger: TrafficLedger, message_bytes: int = 8
+    ) -> None:
+        max_bytes = float(send_msgs_per_rank.max()) * message_bytes
+        intra_f, inter_f = self._group_split(np.arange(self._p))
+        ledger.charge_collective(
+            phase,
+            CollectiveKind.ALLTOALLV,
+            self._p,
+            max_bytes * intra_f,
+            max_bytes * inter_f,
+            total_bytes=float(send_msgs_per_rank.sum()) * message_bytes,
+        )
+
+    def charge_receiver_kernel(self, phase, recv_rank_per_msg, ledger, label="recv"):
+        counts = np.bincount(recv_rank_per_msg, minlength=self._p)
+        seconds = self.rates.kernel_time(
+            int(counts.max()), self.rates.message_rate(self.config.num_cgs), self._ws
+        )
+        ledger.charge_compute(phase, f"push_{label}:{phase}", counts, seconds)

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's experiment drivers:
+
+- ``graph500`` — the official benchmark flow (generation, construction,
+  N roots, validation, official statistics block).
+- ``bfs`` — one BFS with the full per-iteration trace.
+- ``sweep`` — the weak-scaling ladder (Fig. 9 data).
+- ``compare`` — the four partitioning methods side by side (Table 1).
+- ``ocs`` — the Fig. 14 bucketing microbenchmark.
+
+All output is plain text; ``--csv PATH`` additionally writes machine-
+readable results where it applies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _mesh_arg(value: str) -> tuple[int, int]:
+    """Parse 'RxC' mesh shapes."""
+    try:
+        rows, cols = value.lower().split("x")
+        out = (int(rows), int(cols))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like 8x8, got {value!r}"
+        ) from exc
+    if out[0] < 1 or out[1] < 1:
+        raise argparse.ArgumentTypeError("mesh dimensions must be positive")
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scaling Graph Traversal to 281 Trillion "
+            "Edges with 40 Million Cores' (PPoPP 2022) on a simulated "
+            "New Sunway machine."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=int, default=14, help="Graph500 SCALE")
+    common.add_argument(
+        "--mesh", type=_mesh_arg, default=(8, 8), help="process mesh, e.g. 16x16"
+    )
+    common.add_argument("--seed", type=int, default=1)
+    common.add_argument("--e-threshold", type=int, default=None)
+    common.add_argument("--h-threshold", type=int, default=None)
+
+    g5 = sub.add_parser("graph500", parents=[common], help="official benchmark flow")
+    g5.add_argument("--roots", type=int, default=8, help="BFS roots (64 = conforming)")
+    g5.add_argument("--no-validate", action="store_true")
+
+    bfs = sub.add_parser("bfs", parents=[common], help="one traced BFS run")
+    bfs.add_argument("--root", type=int, default=None, help="default: max-degree hub")
+    bfs.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the per-iteration component/time matrix",
+    )
+
+    sweep = sub.add_parser("sweep", help="weak-scaling ladder (Fig. 9)")
+    sweep.add_argument(
+        "--points",
+        default="12:4x4,14:8x8,16:16x16",
+        help="comma-separated scale:RxC ladder",
+    )
+    sweep.add_argument("--seed", type=int, default=1)
+
+    comp = sub.add_parser(
+        "compare", parents=[common], help="partitioning methods (Table 1)"
+    )
+
+    ocs = sub.add_parser("ocs", help="OCS-RMA microbenchmark (Fig. 14)")
+    ocs.add_argument("--mib", type=int, default=32, help="stream size in MiB")
+    ocs.add_argument("--seed", type=int, default=1)
+
+    sssp_p = sub.add_parser(
+        "sssp", parents=[common], help="weighted SSSP (Graph500 kernel 2b)"
+    )
+    sssp_p.add_argument("--root", type=int, default=None)
+    sssp_p.add_argument(
+        "--algorithm",
+        choices=("delta-stepping", "bellman-ford"),
+        default="delta-stepping",
+    )
+    sssp_p.add_argument("--delta", type=float, default=None)
+
+    return parser
+
+
+def _cmd_graph500(args) -> int:
+    from repro.graph500.driver import run_graph500
+
+    rows, cols = args.mesh
+    report = run_graph500(
+        args.scale,
+        rows,
+        cols,
+        seed=args.seed,
+        num_roots=args.roots,
+        e_threshold=args.e_threshold,
+        h_threshold=args.h_threshold,
+        validate=not args.no_validate,
+    )
+    print(report.render())
+    print(f"harmonic_mean_GTEPS: {report.mean_gteps:.3f}")
+    return 0 if report.validated else 1
+
+
+def _cmd_bfs(args) -> int:
+    from repro.analysis.experiments import build_setup, run_15d
+    from repro.analysis.reporting import ascii_table, format_seconds
+
+    rows, cols = args.mesh
+    setup = build_setup(args.scale, rows, cols, seed=args.seed)
+    if args.root is not None:
+        setup = type(setup)(
+            setup.scale, setup.src, setup.dst, setup.num_vertices,
+            setup.mesh, setup.machine, args.root,
+        )
+    part, res = run_15d(
+        setup, e_threshold=args.e_threshold, h_threshold=args.h_threshold
+    )
+    print(f"classes: {part.class_sizes()}")
+    print(ascii_table(
+        ["iter", "frontier"] + list(res.iterations[0].directions),
+        [
+            [r.index, r.frontier_size] + list(r.directions.values())
+            for r in res.iterations
+        ],
+        title="per-iteration directions:",
+    ))
+    print(f"visited: {res.num_visited:,}/{setup.num_vertices:,} | "
+          f"time: {format_seconds(res.total_seconds)} | "
+          f"sim GTEPS: {setup.num_edges / res.total_seconds / 1e9:.1f}")
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(res))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.experiments import run_scaling_sweep
+    from repro.analysis.reporting import ascii_table
+
+    points = []
+    for token in args.points.split(","):
+        scale_s, mesh_s = token.strip().split(":")
+        rows, cols = _mesh_arg(mesh_s)
+        points.append((int(scale_s), rows, cols))
+    sweep = run_scaling_sweep(points=tuple(points), seed=args.seed)
+    base = sweep[0]
+    print(ascii_table(
+        ["nodes", "scale", "sim GTEPS", "efficiency"],
+        [
+            [
+                p.nodes, p.scale, f"{p.gteps:.1f}",
+                f"{100 * p.gteps / (base.gteps * p.nodes / base.nodes):.0f}%",
+            ]
+            for p in sweep
+        ],
+        title="weak scaling:",
+    ))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.experiments import run_partition_comparison
+    from repro.analysis.reporting import ascii_table
+
+    rows, cols = args.mesh
+    rows_out = run_partition_comparison(
+        points=((args.scale, rows, cols),), seed=args.seed
+    )
+    print(ascii_table(
+        ["method", "sim GTEPS", "delegate KiB/node", "comm MB"],
+        [
+            [
+                r["method"], f"{r['gteps']:.1f}",
+                f"{r['delegate_bytes_per_node'] / 1024:.1f}",
+                f"{r['comm_bytes'] / 1e6:.2f}",
+            ]
+            for r in rows_out
+        ],
+        title=f"partitioning methods at SCALE {args.scale}, {rows * cols} nodes:",
+    ))
+    return 0
+
+
+def _cmd_ocs(args) -> int:
+    from repro.analysis.reporting import ascii_bar_chart
+    from repro.sort.bucket import mpe_bucket_sort
+    from repro.sort.ocs import OCSConfig, simulate_ocs_rma
+
+    rng = np.random.default_rng(args.seed)
+    values = rng.integers(0, 2**63 - 1, size=args.mib * (1 << 20) // 8)
+    buckets = values & 0xFF
+    mpe = mpe_bucket_sort(values, buckets, 256)
+    one = simulate_ocs_rma(values, buckets, 256, config=OCSConfig(num_cgs=1))
+    six = simulate_ocs_rma(values, buckets, 256, config=OCSConfig(num_cgs=6))
+    print(ascii_bar_chart(
+        ["MPE", "1 CG", "6 CGs"],
+        [
+            mpe.throughput_bytes_per_s / 1e9,
+            one.throughput_bytes_per_s / 1e9,
+            six.throughput_bytes_per_s / 1e9,
+        ],
+        log=True,
+        unit=" GB/s",
+        title=f"bucketing {args.mib} MiB by low 8 bits:",
+    ))
+    print(f"6-CG utilization: {100 * six.bandwidth_utilization():.1f}%")
+    return 0
+
+
+def _cmd_sssp(args) -> int:
+    from repro.analysis.experiments import build_setup, tuned_thresholds
+    from repro.analysis.reporting import format_seconds
+    from repro.core import partition_graph
+    from repro.core.algorithms import generate_weights, sssp
+    from repro.core.delta_stepping import delta_stepping_sssp
+
+    rows, cols = args.mesh
+    setup = build_setup(args.scale, rows, cols, seed=args.seed)
+    e_thr, h_thr = args.e_threshold, args.h_threshold
+    if e_thr is None or h_thr is None:
+        e_thr, h_thr = tuned_thresholds(args.scale)
+    part = partition_graph(
+        setup.src, setup.dst, setup.num_vertices, setup.mesh,
+        e_threshold=e_thr, h_threshold=h_thr,
+    )
+    weights = generate_weights(setup.src.size, seed=args.seed + 1)
+    root = args.root if args.root is not None else setup.root
+    if args.algorithm == "delta-stepping":
+        res = delta_stepping_sssp(
+            part, root, weights, setup.src, setup.dst,
+            delta=args.delta, machine=setup.machine,
+        )
+        print(f"delta = {res.delta:.4g}; {res.num_buckets} buckets, "
+              f"{res.num_phases} phases")
+    else:
+        res = sssp(
+            part, root, weights, edge_src=setup.src, edge_dst=setup.dst,
+            machine=setup.machine,
+        )
+        print(f"{res.num_iterations} Bellman-Ford rounds")
+    reached = int(np.count_nonzero(np.isfinite(res.distance)))
+    print(f"reached {reached:,}/{setup.num_vertices:,} vertices; "
+          f"{res.relaxations:,} relaxations; "
+          f"simulated {format_seconds(res.total_seconds)}")
+    return 0
+
+
+_COMMANDS = {
+    "graph500": _cmd_graph500,
+    "bfs": _cmd_bfs,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "ocs": _cmd_ocs,
+    "sssp": _cmd_sssp,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

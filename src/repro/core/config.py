@@ -1,0 +1,81 @@
+"""Configuration of the 1.5D BFS engine.
+
+Every optimization the paper describes can be toggled independently so the
+ablation experiments (Fig. 15, §6.4) run on the same engine:
+
+- ``sub_iteration_direction`` — per-component push/pull selection (§4.2);
+  off means one whole-iteration direction shared by all six components,
+  i.e. vanilla Beamer direction optimization.
+- ``segmenting`` — CG-aware core-subgraph segmenting for the EH2EH pull
+  kernel (§4.3).
+- ``delayed_reduction`` — reduce delegated parent arrays once at the end of
+  the run instead of every iteration (§5).
+- ``edge_aware_balance`` — GraphIt-style vertex-cut by accumulated degree
+  for EH2EH push (§5); off splits the frontier by vertex count and pays
+  the resulting CPE imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BFSConfig"]
+
+
+@dataclass(frozen=True)
+class BFSConfig:
+    """Engine configuration (defaults reproduce the full paper system)."""
+
+    #: Degree at and above which a vertex is Extremely heavy (E).
+    e_threshold: int = 2048
+    #: Degree at and above which a vertex is Heavy (H); must not exceed
+    #: ``e_threshold``.
+    h_threshold: int = 64
+
+    #: §4.2 sub-iteration direction optimization.
+    sub_iteration_direction: bool = True
+    #: §4.3 CG-aware core subgraph segmenting.
+    segmenting: bool = True
+    #: §5 delayed reduction of delegated parent arrays.
+    delayed_reduction: bool = True
+    #: §5 edge-aware vertex-cut load balancing in EH2EH push.
+    edge_aware_balance: bool = True
+
+    #: Node-local components (EH2EH, E2L, L2E) switch to pull when the
+    #: source class's active fraction exceeds this (§4.2: "only the source
+    #: active ratio is used ... for subgraphs with node-local edges").
+    local_pull_threshold: float = 0.04
+    #: Cross-node components pull when
+    #: ``unvisited_dst_ratio < active_src_ratio * cross_pull_bias``.
+    #: Push sends one message per *arc* of an active source while pull
+    #: sends one per *hit destination*, so pull breaks even well before
+    #: the raw ratios cross; the bias approximates the average component
+    #: out-degree (tuned like the paper's thresholds, §6.2.1).
+    cross_pull_bias: float = 4.0
+    #: Beamer alpha for the whole-iteration baseline heuristic.
+    whole_iteration_alpha: float = 15.0
+
+    #: Core groups used by the chip kernels.
+    num_cgs: int = 6
+
+    #: Safety cap on BFS iterations (a Graph500 R-MAT BFS needs < 20).
+    max_iterations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.e_threshold < 1 or self.h_threshold < 1:
+            raise ValueError("degree thresholds must be >= 1")
+        if self.e_threshold < self.h_threshold:
+            raise ValueError(
+                f"e_threshold ({self.e_threshold}) must be >= h_threshold "
+                f"({self.h_threshold}): E vertices are the heaviest class"
+            )
+        if not 0.0 <= self.local_pull_threshold <= 1.0:
+            raise ValueError("local_pull_threshold must be in [0, 1]")
+        if self.cross_pull_bias <= 0:
+            raise ValueError("cross_pull_bias must be positive")
+        if self.whole_iteration_alpha <= 0:
+            raise ValueError("whole_iteration_alpha must be positive")
+        if self.num_cgs < 1:
+            raise ValueError("num_cgs must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")

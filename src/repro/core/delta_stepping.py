@@ -1,0 +1,217 @@
+"""Delta-stepping SSSP on the 1.5D partitioning.
+
+The paper cites Chakaravarthy et al. [5] for scalable SSSP; their
+algorithm (and every competitive Graph500 SSSP submission) is a
+delta-stepping variant (Meyer & Sanders): vertices are processed in
+distance buckets of width ``delta``; within a bucket, *light* edges
+(weight < delta) are relaxed iteratively until the bucket settles, then
+*heavy* edges (weight >= delta) are relaxed once.
+
+This implementation runs over the same six 1.5D components as BFS, so
+light/heavy *edge* phases compose with the E/H/L *vertex* classes: each
+relaxation sweep is charged per component with its 1.5D messaging
+pattern.  The result is exact (tests compare against Dijkstra via
+networkx) and the bucket structure gives the expected work profile:
+fewer phases than Bellman-Ford on weighted R-MAT graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import PartitionedGraph
+from repro.core.subgraphs import COMPONENT_ORDER
+from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
+from repro.machine.network import MachineSpec
+from repro.runtime.ledger import TrafficLedger
+
+__all__ = ["DeltaSteppingResult", "delta_stepping_sssp", "suggest_delta"]
+
+_REMOTE = ("H2L", "L2H", "L2L")
+
+
+@dataclass
+class DeltaSteppingResult:
+    """Output of a delta-stepping run."""
+
+    root: int
+    distance: np.ndarray
+    parent: np.ndarray
+    delta: float
+    num_buckets: int
+    num_phases: int
+    relaxations: int
+    ledger: TrafficLedger
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ledger.total_seconds
+
+
+def suggest_delta(weights: np.ndarray, degrees: np.ndarray) -> float:
+    """The classic heuristic: delta ~ average weight x (1 / avg degree)
+    scaled so a bucket holds a frontier-sized set; we use the robust
+    ``mean weight / mean degree`` with floors."""
+    w = float(np.mean(weights)) if weights.size else 1.0
+    d = float(np.mean(degrees[degrees > 0])) if np.any(degrees > 0) else 1.0
+    return max(w / max(d, 1.0), 1e-6)
+
+
+def delta_stepping_sssp(
+    part: PartitionedGraph,
+    root: int,
+    weights: np.ndarray,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    *,
+    delta: float | None = None,
+    machine: MachineSpec | None = None,
+    max_buckets: int = 1_000_000,
+) -> DeltaSteppingResult:
+    """Exact delta-stepping shortest paths over the partitioned graph."""
+    n = part.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for n={n}")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("delta-stepping requires nonnegative weights")
+    if weights.shape != np.asarray(edge_src).shape:
+        raise ValueError("weights must align with edge_src/edge_dst")
+    if delta is None:
+        delta = suggest_delta(weights, part.degrees)
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+
+    mesh = part.mesh
+    if machine is None:
+        machine = mesh.machine or MachineSpec(num_nodes=mesh.num_ranks)
+    rates = NodeKernelRates(chip=machine.chip)
+    ledger = TrafficLedger(CostModel(machine))
+    ws = machine.work_scale
+    p = mesh.num_ranks
+
+    # weight lookup by undirected endpoint pair (min over duplicates)
+    lo = np.minimum(edge_src, edge_dst).astype(np.int64)
+    hi = np.maximum(edge_src, edge_dst).astype(np.int64)
+    key = lo * n + hi
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    group_starts = np.concatenate(
+        ([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)
+    )
+    w_min = np.minimum.reduceat(weights[order], group_starts)
+    key_unique = key_sorted[group_starts]
+
+    def weight_of(s: np.ndarray, d: np.ndarray) -> np.ndarray:
+        k = np.minimum(s, d) * n + np.maximum(s, d)
+        return w_min[np.searchsorted(key_unique, k)]
+
+    dist = np.full(n, np.inf)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[root] = 0.0
+    parent[root] = root
+
+    relaxations = 0
+    phases = 0
+    buckets_processed = 0
+    bucket_idx = 0
+
+    def relax_from(sources_mask: np.ndarray, light_only: bool | None):
+        """One sweep: push relaxations from `sources_mask` over every
+        component, restricted to light / heavy / all edges."""
+        nonlocal relaxations
+        touched = np.zeros(n, dtype=bool)
+        for name in COMPONENT_ORDER:
+            comp = part.components[name]
+            if comp.num_arcs == 0:
+                continue
+            sel = comp.push_select(sources_mask)
+            if sel.num_arcs == 0:
+                continue
+            w = weight_of(sel.src, sel.dst)
+            if light_only is True:
+                keep = w < delta
+            elif light_only is False:
+                keep = w >= delta
+            else:
+                keep = np.ones(w.size, dtype=bool)
+            if not np.any(keep):
+                continue
+            s_k, d_k, w_k = sel.src[keep], sel.dst[keep], w[keep]
+            rank_k = sel.rank[keep]
+            per_rank = np.bincount(rank_k, minlength=p)
+            seconds = rates.kernel_time(
+                int(per_rank.max()), rates.message_rate(), ws
+            )
+            ledger.charge_compute(name, f"relax:{name}", per_rank, seconds)
+            if name in _REMOTE:
+                mx = float(per_rank.max()) * 16
+                ledger.charge_collective(
+                    name,
+                    CollectiveKind.ALLTOALLV,
+                    participants=p if name == "L2L" else mesh.cols,
+                    max_bytes_intra=mx * 0.5,
+                    max_bytes_inter=mx * 0.5,
+                    total_bytes=float(per_rank.sum()) * 16,
+                )
+            cand = dist[s_k] + w_k
+            better = cand < dist[d_k]
+            relaxations += int(np.count_nonzero(better))
+            if not np.any(better):
+                continue
+            d_b, c_b, s_b = d_k[better], cand[better], s_k[better]
+            o = np.lexsort((c_b, d_b))
+            d_s, c_s, s_s = d_b[o], c_b[o], s_b[o]
+            first = np.concatenate(([True], d_s[1:] != d_s[:-1]))
+            d_m, c_m, s_m = d_s[first], c_s[first], s_s[first]
+            apply = c_m < dist[d_m]
+            dist[d_m[apply]] = c_m[apply]
+            parent[d_m[apply]] = s_m[apply]
+            touched[d_m[apply]] = True
+        return touched
+
+    settled = np.zeros(n, dtype=bool)
+    while bucket_idx < max_buckets:
+        lo_b = bucket_idx * delta
+        hi_b = lo_b + delta
+        in_bucket = (~settled) & (dist >= lo_b) & (dist < hi_b)
+        if not in_bucket.any():
+            remaining = (~settled) & np.isfinite(dist)
+            if not remaining.any():
+                break
+            bucket_idx = int(np.floor(dist[remaining].min() / delta))
+            continue
+        bucket_members = np.zeros(n, dtype=bool)
+        # inner light-edge loop: iterate until the bucket settles
+        frontier = in_bucket.copy()
+        while frontier.any():
+            phases += 1
+            bucket_members |= frontier
+            touched = relax_from(frontier, light_only=True)
+            frontier = touched & (dist < hi_b) & ~settled & ~bucket_members
+            # re-touched members with improved in-bucket distance must
+            # relax again too
+            frontier |= touched & bucket_members & (dist < hi_b) & ~settled
+            # avoid infinite loop: only revisit members whose distance
+            # actually improved this phase; 'touched' already encodes that
+            if phases > 10 * n:
+                raise RuntimeError("delta-stepping failed to settle a bucket")
+        # heavy edges once, from every bucket member
+        phases += 1
+        relax_from(bucket_members, light_only=False)
+        settled |= bucket_members
+        buckets_processed += 1
+        bucket_idx += 1
+
+    return DeltaSteppingResult(
+        root=root,
+        distance=dist,
+        parent=parent,
+        delta=float(delta),
+        num_buckets=buckets_processed,
+        num_phases=phases,
+        relaxations=relaxations,
+        ledger=ledger,
+    )

@@ -1,0 +1,142 @@
+"""Run metrics: everything the evaluation figures need from one BFS.
+
+:class:`BFSRunResult` carries the functional output (the parent array,
+validatable against the Graph500 spec) plus the full per-iteration trace
+and the priced ledger:
+
+- Fig. 5  — :meth:`activation_trace` (newly activated fraction per class
+  per iteration);
+- Fig. 9  — :meth:`simulated_gteps`;
+- Fig. 10 — :meth:`time_by_phase` (per-component + reduce + other);
+- Fig. 11 — :meth:`time_by_category` (compute / imbalance / alltoallv /
+  allgather / reduce-scatter);
+- Fig. 15 — :meth:`time_by_direction` (EH2EH vs others, push vs pull).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph500.spec import Graph500Problem
+from repro.machine.costmodel import CollectiveKind
+from repro.runtime.ledger import TrafficLedger
+
+__all__ = ["IterationRecord", "BFSRunResult"]
+
+
+@dataclass
+class IterationRecord:
+    """Trace of one BFS iteration."""
+
+    index: int
+    frontier_size: int
+    #: Direction chosen per component this iteration.
+    directions: dict[str, str] = field(default_factory=dict)
+    #: Newly activated vertices per degree class (E/H/L).
+    newly_activated: dict[str, int] = field(default_factory=dict)
+    #: Arcs scanned per component.
+    scanned_arcs: dict[str, int] = field(default_factory=dict)
+    #: Remote messages generated per component.
+    messages: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class BFSRunResult:
+    """Functional + modeled outcome of one BFS run."""
+
+    root: int
+    parent: np.ndarray
+    iterations: list[IterationRecord]
+    ledger: TrafficLedger
+    #: Total modeled seconds (ledger total at run end).
+    total_seconds: float
+    #: Undirected input edges traversed-equivalent (Graph500 counts the
+    #: generator's edge count regardless of duplicates).
+    num_input_edges: int
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def num_visited(self) -> int:
+        return int(np.count_nonzero(self.parent >= 0))
+
+    def simulated_gteps(self, problem: Graph500Problem | None = None) -> float:
+        """Simulated giga-traversed-edges-per-second.
+
+        With a :class:`Graph500Problem` this is the benchmark's metric
+        (input edge count / time); without, it uses the run's own edge
+        count.
+        """
+        edges = problem.num_edges if problem is not None else self.num_input_edges
+        if self.total_seconds <= 0:
+            return 0.0
+        return edges / self.total_seconds / 1e9
+
+    # ------------------------------------------------------------------
+    # figure-shaped queries
+    # ------------------------------------------------------------------
+
+    def activation_trace(self, class_sizes: dict[str, int]) -> dict[str, list[float]]:
+        """Fig. 5: per-iteration newly-activated fraction per class."""
+        out: dict[str, list[float]] = {}
+        for cls in ("E", "H", "L"):
+            size = max(class_sizes.get(cls, 0), 1)
+            out[cls] = [
+                rec.newly_activated.get(cls, 0) / size for rec in self.iterations
+            ]
+        return out
+
+    def time_by_phase(self) -> dict[str, float]:
+        """Fig. 10: seconds per component (+ ``reduce`` and ``other``)."""
+        return self.ledger.seconds_by_phase()
+
+    def time_by_category(self) -> dict[str, float]:
+        """Fig. 11: compute / imbalance / per-collective-kind seconds."""
+        out: dict[str, float] = {
+            "compute": self.ledger.compute_seconds - self.ledger.imbalance_seconds,
+            "imbalance/latency": self.ledger.imbalance_seconds,
+        }
+        kind_names = {
+            CollectiveKind.ALLTOALLV: "alltoallv",
+            CollectiveKind.ALLGATHER: "allgather",
+            CollectiveKind.REDUCE_SCATTER: "reduce_scatter",
+            CollectiveKind.ALLREDUCE: "allreduce",
+            CollectiveKind.BARRIER: "barrier",
+            CollectiveKind.P2P: "p2p",
+        }
+        for kind, secs in self.ledger.comm_seconds_by_kind().items():
+            name = kind_names[kind]
+            out[name] = out.get(name, 0.0) + secs
+        return out
+
+    def time_by_direction(self) -> dict[str, float]:
+        """Fig. 15: {EH2EH, others} x {push, pull} + other seconds.
+
+        Uses the compute events' kernel tags (``push``/``pull`` prefix).
+        """
+        out = {
+            "EH2EH push": 0.0,
+            "EH2EH pull": 0.0,
+            "others push": 0.0,
+            "others pull": 0.0,
+            "other": 0.0,
+        }
+        for ev in self.ledger.compute_events:
+            where = "EH2EH" if ev.phase == "EH2EH" else "others"
+            if ev.kernel.startswith("push"):
+                out[f"{where} push"] += ev.seconds
+            elif ev.kernel.startswith("pull"):
+                out[f"{where} pull"] += ev.seconds
+            else:
+                out["other"] += ev.seconds
+        for ev in self.ledger.comm_events:
+            out["other"] += ev.seconds
+        return out
+
+    def directions_of(self, component: str) -> list[str]:
+        """Direction chosen for one component across iterations."""
+        return [rec.directions.get(component, "-") for rec in self.iterations]

@@ -1,0 +1,267 @@
+"""3-level degree-aware 1.5D graph partitioning (paper §4.1).
+
+Pipeline (mirrors the paper's in-place preprocessing):
+
+1. compute undirected degrees;
+2. classify vertices: **E** (degree >= ``e_threshold``), **H** (degree >=
+   ``h_threshold``), **L** (the rest);
+3. give E and H vertices new dense IDs ordered by degree descending (the
+   "new ID among the higher degree vertices" relabeling) — used for
+   delegate bitmap sizing;
+4. split the symmetrized arc set into the six components and place each
+   arc on its owning mesh rank (see :mod:`repro.core.subgraphs` for the
+   placement table);
+5. freeze each component into its push/pull access structures.
+
+Degenerate settings reproduce the paper's §4.1 observations: with
+``h_threshold == e_threshold`` there are no H vertices and the scheme
+collapses toward 1D-with-heavy-delegates; with a threshold of 1 every
+vertex is delegated and it collapses toward 2D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.subgraphs import COMPONENT_ORDER, SubgraphComponent
+from repro.graphs.csr import symmetrize_edges
+from repro.graphs.stats import degrees_from_edges
+from repro.runtime.mesh import ProcessMesh
+
+__all__ = ["VertexClass", "PartitionedGraph", "partition_graph"]
+
+
+class VertexClass:
+    """Degree-class codes stored in :attr:`PartitionedGraph.vclass`."""
+
+    L = 0
+    H = 1
+    E = 2
+
+
+#: Source/destination degree class of each component, used by the
+#: direction heuristics.  "EH" means the merged E+H class.
+COMPONENT_CLASSES = {
+    "EH2EH": ("EH", "EH"),
+    "E2L": ("E", "L"),
+    "L2E": ("L", "E"),
+    "H2L": ("H", "L"),
+    "L2H": ("L", "H"),
+    "L2L": ("L", "L"),
+}
+
+#: Components whose arcs stay on one node for both directions (§4.2).
+NODE_LOCAL_COMPONENTS = frozenset({"EH2EH", "E2L", "L2E"})
+
+
+@dataclass
+class PartitionedGraph:
+    """A graph partitioned by the 3-level degree-aware 1.5D scheme."""
+
+    mesh: ProcessMesh
+    num_vertices: int
+    e_threshold: int
+    h_threshold: int
+    #: Undirected degree per vertex.
+    degrees: np.ndarray
+    #: Per-vertex class code (:class:`VertexClass`).
+    vclass: np.ndarray
+    #: The six components, keyed by name.
+    components: dict[str, SubgraphComponent]
+    #: E and H vertex IDs, each sorted by degree descending.
+    e_ids: np.ndarray
+    h_ids: np.ndarray
+    #: Per-vertex mesh column/row of the EH-space placement (-1 for L).
+    #: EH vertices are re-IDed by degree descending and dealt cyclically
+    #: over the mesh, which is what spreads hub adjacency evenly (§4.1's
+    #: "given a new ID among the higher degree vertices").
+    eh_col: np.ndarray = field(default=None)
+    eh_row: np.ndarray = field(default=None)
+    #: EH delegate population per mesh column / row (bitmap sizes).
+    col_eh_counts: np.ndarray = field(default=None)
+    row_eh_counts: np.ndarray = field(default=None)
+    #: L vertices per rank (block distribution).
+    l_per_rank: np.ndarray = field(default=None)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_e(self) -> int:
+        return int(self.e_ids.size)
+
+    @property
+    def num_h(self) -> int:
+        return int(self.h_ids.size)
+
+    @property
+    def num_eh(self) -> int:
+        return self.num_e + self.num_h
+
+    @property
+    def num_l(self) -> int:
+        return self.num_vertices - self.num_eh
+
+    @property
+    def total_arcs(self) -> int:
+        return sum(c.num_arcs for c in self.components.values())
+
+    def class_masks(self) -> dict[str, np.ndarray]:
+        """Boolean masks for E, H, L, and merged EH."""
+        is_e = self.vclass == VertexClass.E
+        is_h = self.vclass == VertexClass.H
+        return {"E": is_e, "H": is_h, "L": self.vclass == VertexClass.L, "EH": is_e | is_h}
+
+    def class_sizes(self) -> dict[str, int]:
+        return {k: int(v.sum()) for k, v in self.class_masks().items()}
+
+    def component_load_vectors(self) -> dict[str, np.ndarray]:
+        """Per-rank arc counts per component (Figure 13's distributions)."""
+        return {name: c.arcs_per_rank.copy() for name, c in self.components.items()}
+
+    def core_fraction(self) -> float:
+        """Fraction of arcs in the EH2EH core subgraph (paper: >60% of
+        edges are between E/H vertices in Graph500 graphs)."""
+        if self.total_arcs == 0:
+            return 0.0
+        return self.components["EH2EH"].num_arcs / self.total_arcs
+
+
+def partition_graph(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    mesh: ProcessMesh,
+    *,
+    e_threshold: int,
+    h_threshold: int,
+) -> PartitionedGraph:
+    """Partition an undirected edge list into the six 1.5D components.
+
+    Parameters
+    ----------
+    src, dst:
+        Undirected edge list (one entry per edge; self loops dropped).
+    num_vertices:
+        Vertex count; the mesh's block distribution covers ``[0, n)``.
+    mesh:
+        The R x C process mesh.
+    e_threshold, h_threshold:
+        Degree class thresholds, ``e_threshold >= h_threshold``.
+    """
+    if e_threshold < h_threshold:
+        raise ValueError(
+            f"e_threshold ({e_threshold}) must be >= h_threshold ({h_threshold})"
+        )
+    degrees = degrees_from_edges(src, dst, num_vertices)
+
+    vclass = np.zeros(num_vertices, dtype=np.int8)
+    vclass[degrees >= h_threshold] = VertexClass.H
+    vclass[degrees >= e_threshold] = VertexClass.E
+
+    # Dense re-IDs by degree descending (stable on vertex id).
+    def by_degree_desc(ids: np.ndarray) -> np.ndarray:
+        if ids.size == 0:
+            return ids
+        order = np.lexsort((ids, -degrees[ids]))
+        return ids[order]
+
+    e_ids = by_degree_desc(np.flatnonzero(vclass == VertexClass.E))
+    h_ids = by_degree_desc(np.flatnonzero(vclass == VertexClass.H))
+
+    # EH-space placement: dense IDs by degree descending, dealt cyclically
+    # over columns (and row-cyclically within a column's deal) so the
+    # heaviest vertices' delegate load spreads evenly over the mesh.
+    eh_order = np.concatenate([e_ids, h_ids])
+    eh_index = np.full(num_vertices, -1, dtype=np.int64)
+    if eh_order.size:
+        eh_index[eh_order] = np.arange(eh_order.size, dtype=np.int64)
+    eh_col = np.where(eh_index >= 0, eh_index % mesh.cols, -1)
+    eh_row = np.where(eh_index >= 0, (eh_index // mesh.cols) % mesh.rows, -1)
+
+    # Arc placement.
+    a_src, a_dst = symmetrize_edges(src, dst)
+    sc = vclass[a_src].astype(np.int64)
+    dc = vclass[a_dst].astype(np.int64)
+    o_src = mesh.owner_of(a_src, num_vertices)
+    o_dst = mesh.owner_of(a_dst, num_vertices)
+    r_dst = mesh.row_of(o_dst)
+    c_src = mesh.col_of(o_src)
+
+    heavy_s = sc >= VertexClass.H
+    heavy_d = dc >= VertexClass.H
+
+    comp_of = np.empty(a_src.size, dtype=np.int64)
+    names = list(COMPONENT_ORDER)
+    comp_of[heavy_s & heavy_d] = names.index("EH2EH")
+    comp_of[(sc == VertexClass.E) & (dc == VertexClass.L)] = names.index("E2L")
+    comp_of[(sc == VertexClass.L) & (dc == VertexClass.E)] = names.index("L2E")
+    comp_of[(sc == VertexClass.H) & (dc == VertexClass.L)] = names.index("H2L")
+    comp_of[(sc == VertexClass.L) & (dc == VertexClass.H)] = names.index("L2H")
+    comp_of[(sc == VertexClass.L) & (dc == VertexClass.L)] = names.index("L2L")
+
+    # Rank per arc, by component placement rule.
+    #
+    # H endpoints pin an arc to the H vertex's EH-space column (source) or
+    # row (destination) — that is where H's delegates live.  E endpoints
+    # are delegated on *every* node (§4.1), so their adjacency is free to
+    # be dealt cyclically across columns/rows; this is what breaks up the
+    # super-hubs' adjacency mass and gives the tight Fig. 13 balance.
+    # L endpoints place by block ownership.
+    rank = np.empty(a_src.size, dtype=np.int64)
+    arc_cycle = np.arange(a_src.size, dtype=np.int64)
+
+    m_2d = comp_of == names.index("EH2EH")
+    src_is_h = sc == VertexClass.H
+    dst_is_h = dc == VertexClass.H
+    col_2d = np.where(src_is_h, eh_col[a_src], arc_cycle % mesh.cols)
+    row_2d = np.where(dst_is_h, eh_row[a_dst], (arc_cycle // mesh.cols) % mesh.rows)
+    rank[m_2d] = row_2d[m_2d] * mesh.cols + col_2d[m_2d]
+
+    m = comp_of == names.index("E2L")
+    rank[m] = o_dst[m]
+    m = comp_of == names.index("L2E")
+    rank[m] = o_src[m]
+    m = comp_of == names.index("H2L")
+    rank[m] = r_dst[m] * mesh.cols + eh_col[a_src[m]]
+    m = comp_of == names.index("L2H")
+    rank[m] = o_src[m]
+    m = comp_of == names.index("L2L")
+    rank[m] = o_src[m]
+
+    components = {}
+    for i, name in enumerate(names):
+        sel = comp_of == i
+        components[name] = SubgraphComponent(
+            name, a_src[sel], a_dst[sel], rank[sel], mesh.num_ranks
+        )
+
+    # Delegate bitmap sizes: EH vertices per mesh column and row.
+    if eh_order.size:
+        col_eh = np.bincount(eh_col[eh_order], minlength=mesh.cols)
+        row_eh = np.bincount(eh_row[eh_order], minlength=mesh.rows)
+    else:
+        col_eh = np.zeros(mesh.cols, np.int64)
+        row_eh = np.zeros(mesh.rows, np.int64)
+
+    l_vertices = np.flatnonzero(vclass == VertexClass.L)
+    l_owner = mesh.owner_of(l_vertices, num_vertices) if l_vertices.size else np.array([], np.int64)
+    l_per_rank = np.bincount(l_owner, minlength=mesh.num_ranks) if l_vertices.size else np.zeros(mesh.num_ranks, np.int64)
+
+    return PartitionedGraph(
+        mesh=mesh,
+        num_vertices=num_vertices,
+        e_threshold=e_threshold,
+        h_threshold=h_threshold,
+        degrees=degrees,
+        vclass=vclass,
+        components=components,
+        e_ids=e_ids,
+        h_ids=h_ids,
+        eh_col=eh_col,
+        eh_row=eh_row,
+        col_eh_counts=col_eh,
+        row_eh_counts=row_eh,
+        l_per_rank=l_per_rank,
+    )

@@ -1,0 +1,254 @@
+"""The six 1.5D subgraph components and their traversal primitives.
+
+Each directed arc of the symmetrized graph lands in exactly one of the six
+components by the degree classes of its endpoints (§4.1):
+
+========  ===========  ===========  =============================================
+name      source       destination  stored at (mesh placement)
+========  ===========  ===========  =============================================
+EH2EH     E or H       E or H       rank (row(owner(dst)), col(owner(src))) — 2D
+E2L       E            L            owner(dst) — with L, like heavy 1D delegation
+L2E       L            E            owner(src)
+H2L       H            L            rank (row(owner(dst)), col(owner(src))) —
+                                    H's column, messaging stays intra-row
+L2H       L            H            owner(src) — reverse of H2L
+L2L       L            L            owner(src) — plain 1D
+========  ===========  ===========  =============================================
+
+:class:`SubgraphComponent` stores one component with two access paths:
+
+- a compact by-source CSR for *push* (top-down): selecting the frontier's
+  arcs costs O(frontier sources + selected arcs);
+- a (rank, destination)-grouped ordering for *pull* (bottom-up): each
+  group is one destination's arc run on one rank, scanned with early exit.
+
+Both paths also carry the owning rank per arc so every sub-iteration can
+report exact per-rank work to the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SubgraphComponent", "PushSelection", "PullScan", "COMPONENT_ORDER"]
+
+#: Execution order within an iteration: densest (highest-degree endpoints)
+#: first, so later sub-iterations see the freshest visited state (§4.2).
+COMPONENT_ORDER = ("EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L")
+
+
+@dataclass(frozen=True)
+class PushSelection:
+    """Arcs selected by a top-down sub-iteration (sources in frontier)."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    rank: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.src.size)
+
+    def per_rank(self, num_ranks: int) -> np.ndarray:
+        """Arcs handled by each rank (exact load vector)."""
+        return np.bincount(self.rank, minlength=num_ranks)
+
+
+@dataclass(frozen=True)
+class PullScan:
+    """Result of a bottom-up sub-iteration with early exit."""
+
+    #: Destinations that found a parent, their parent, and the rank that
+    #: found it (first hit in deterministic (rank, dst) group order).
+    hit_dst: np.ndarray
+    hit_src: np.ndarray
+    hit_rank: np.ndarray
+    #: Arcs scanned by each rank, counting early exit.
+    scanned_per_rank: np.ndarray
+
+    @property
+    def num_hits(self) -> int:
+        return int(self.hit_dst.size)
+
+    @property
+    def scanned_arcs(self) -> int:
+        return int(self.scanned_per_rank.sum())
+
+
+class SubgraphComponent:
+    """One of the six arc components, frozen for traversal."""
+
+    def __init__(
+        self,
+        name: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        rank: np.ndarray,
+        num_ranks: int,
+    ) -> None:
+        self.name = name
+        self.num_ranks = int(num_ranks)
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        rank = np.asarray(rank, dtype=np.int64)
+        if not (src.shape == dst.shape == rank.shape):
+            raise ValueError("src/dst/rank arrays must have equal shape")
+        if rank.size and (rank.min() < 0 or rank.max() >= num_ranks):
+            raise ValueError("arc rank out of range")
+        self.num_arcs = int(src.size)
+
+        # --- by-source CSR (push path) --------------------------------
+        order = np.lexsort((dst, src))
+        s_sorted = src[order]
+        self._push_dst = dst[order]
+        self._push_rank = rank[order]
+        if s_sorted.size:
+            boundaries = np.concatenate(
+                ([True], s_sorted[1:] != s_sorted[:-1])
+            )
+            starts = np.flatnonzero(boundaries)
+            self.src_ids = s_sorted[starts]
+            self.src_indptr = np.concatenate((starts, [s_sorted.size])).astype(
+                np.int64
+            )
+        else:
+            self.src_ids = np.array([], dtype=np.int64)
+            self.src_indptr = np.array([0], dtype=np.int64)
+
+        # --- (rank, dst) groups (pull path) ----------------------------
+        order2 = np.lexsort((src, dst, rank))
+        self._pull_src = src[order2]
+        d_sorted = dst[order2]
+        r_sorted = rank[order2]
+        if d_sorted.size:
+            boundaries = np.concatenate(
+                (
+                    [True],
+                    (d_sorted[1:] != d_sorted[:-1]) | (r_sorted[1:] != r_sorted[:-1]),
+                )
+            )
+            starts = np.flatnonzero(boundaries)
+            self.grp_ptr = np.concatenate((starts, [d_sorted.size])).astype(np.int64)
+            self.grp_dst = d_sorted[starts]
+            self.grp_rank = r_sorted[starts]
+        else:
+            self.grp_ptr = np.array([0], dtype=np.int64)
+            self.grp_dst = np.array([], dtype=np.int64)
+            self.grp_rank = np.array([], dtype=np.int64)
+
+        #: Exact arcs stored per rank (Fig. 13's load-balance data).
+        self.arcs_per_rank = np.bincount(rank, minlength=num_ranks)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.grp_dst.size)
+
+    def arcs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All arcs as ``(src, dst, rank)`` (push order)."""
+        src = np.repeat(self.src_ids, np.diff(self.src_indptr))
+        return src, self._push_dst.copy(), self._push_rank.copy()
+
+    # ------------------------------------------------------------------
+    # push
+    # ------------------------------------------------------------------
+
+    def push_select(self, active: np.ndarray) -> PushSelection:
+        """Arcs whose source is in the frontier.
+
+        ``active`` is a boolean mask over all vertices.  Cost is
+        O(unique sources + selected arcs) — the frontier's arcs only.
+        """
+        if self.num_arcs == 0:
+            empty = np.array([], dtype=np.int64)
+            return PushSelection(empty, empty, empty)
+        sel_srcs = np.flatnonzero(active[self.src_ids])
+        if sel_srcs.size == 0:
+            empty = np.array([], dtype=np.int64)
+            return PushSelection(empty, empty, empty)
+        starts = self.src_indptr[sel_srcs]
+        lens = self.src_indptr[sel_srcs + 1] - starts
+        total = int(lens.sum())
+        arc_src = np.repeat(self.src_ids[sel_srcs], lens)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        idx = np.repeat(starts, lens) + offs
+        return PushSelection(arc_src, self._push_dst[idx], self._push_rank[idx])
+
+    # ------------------------------------------------------------------
+    # pull
+    # ------------------------------------------------------------------
+
+    def pull_scan(
+        self, candidate_dst: np.ndarray, active_src: np.ndarray
+    ) -> PullScan:
+        """Bottom-up scan with early exit.
+
+        For every (rank, dst) group whose destination satisfies
+        ``candidate_dst`` (a boolean mask — typically "unvisited"), scan the
+        group's arcs in order until the first source satisfying
+        ``active_src``; count exactly the scanned arcs (paper §2.1.2 early
+        exit, available because these arcs are rank-local).
+
+        When several ranks hit the same destination, the winner is the
+        lowest (rank, position) — deterministic.
+        """
+        if self.num_groups == 0:
+            empty = np.array([], dtype=np.int64)
+            return PullScan(
+                empty, empty, empty, np.zeros(self.num_ranks, dtype=np.int64)
+            )
+        cand_groups = np.flatnonzero(candidate_dst[self.grp_dst])
+        if cand_groups.size == 0:
+            empty = np.array([], dtype=np.int64)
+            return PullScan(
+                empty, empty, empty, np.zeros(self.num_ranks, dtype=np.int64)
+            )
+        starts = self.grp_ptr[cand_groups]
+        lens = self.grp_ptr[cand_groups + 1] - starts
+        total = int(lens.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        idx = np.repeat(starts, lens) + offs
+        srcs = self._pull_src[idx]
+        grp_of_arc = np.repeat(np.arange(cand_groups.size, dtype=np.int64), lens)
+
+        hit = active_src[srcs]
+        # first hit position within each group
+        first_pos = np.full(cand_groups.size, -1, dtype=np.int64)
+        if np.any(hit):
+            hit_idx = np.flatnonzero(hit)
+            # reversed minimum trick: np.minimum.at
+            np.minimum.at(
+                first_pos_holder := np.full(cand_groups.size, total + 1, np.int64),
+                grp_of_arc[hit_idx],
+                offs[hit_idx],
+            )
+            found = first_pos_holder <= total
+            first_pos[found] = first_pos_holder[found]
+        scanned = np.where(first_pos >= 0, first_pos + 1, lens)
+        scanned_per_rank = np.bincount(
+            self.grp_rank[cand_groups],
+            weights=scanned,
+            minlength=self.num_ranks,
+        ).astype(np.int64)
+
+        hit_groups = np.flatnonzero(first_pos >= 0)
+        if hit_groups.size == 0:
+            empty = np.array([], dtype=np.int64)
+            return PullScan(empty, empty, empty, scanned_per_rank)
+        g_dst = self.grp_dst[cand_groups[hit_groups]]
+        g_rank = self.grp_rank[cand_groups[hit_groups]]
+        g_src = self._pull_src[starts[hit_groups] + first_pos[hit_groups]]
+        # deterministic cross-rank winner per destination: groups are
+        # already ordered by (rank, dst); reorder hits by (dst, rank) and
+        # keep the first.
+        order = np.lexsort((g_rank, g_dst))
+        g_dst, g_rank, g_src = g_dst[order], g_rank[order], g_src[order]
+        uniq, first = np.unique(g_dst, return_index=True)
+        return PullScan(uniq, g_src[first], g_rank[first], scanned_per_rank)

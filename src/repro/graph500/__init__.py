@@ -1,0 +1,60 @@
+"""Graph500 benchmark substrate.
+
+Implements the pieces of the Graph500 specification the paper relies on:
+
+- :mod:`repro.graph500.spec` — benchmark constants (R-MAT probabilities,
+  edge factor, vertex/edge counts per SCALE).
+- :mod:`repro.graph500.rmat` — the Kronecker/R-MAT edge generator with
+  vertex scrambling.
+- :mod:`repro.graph500.reference` — serial level-synchronous BFS and
+  Beamer-style direction-optimizing BFS used as ground truth.
+- :mod:`repro.graph500.validate` — the specification's BFS output
+  validation (tree edges exist, levels consistent, reachability complete).
+"""
+
+from repro.graph500.rmat import generate_edges, rmat_edges, scramble_vertices
+from repro.graph500.reference import (
+    bfs_levels_from_parents,
+    direction_optimizing_bfs,
+    serial_bfs,
+)
+from repro.graph500.spec import (
+    DEFAULT_EDGE_FACTOR,
+    RMAT_A,
+    RMAT_B,
+    RMAT_C,
+    RMAT_D,
+    Graph500Problem,
+)
+from repro.graph500.driver import (
+    Graph500Report,
+    Graph500Stats,
+    run_graph500,
+    run_graph500_sssp,
+    sample_roots,
+)
+from repro.graph500.validate import ValidationError, validate_bfs_result
+from repro.graph500.validate_sssp import validate_sssp_result
+
+__all__ = [
+    "Graph500Report",
+    "Graph500Stats",
+    "run_graph500",
+    "run_graph500_sssp",
+    "sample_roots",
+    "validate_sssp_result",
+    "DEFAULT_EDGE_FACTOR",
+    "RMAT_A",
+    "RMAT_B",
+    "RMAT_C",
+    "RMAT_D",
+    "Graph500Problem",
+    "generate_edges",
+    "rmat_edges",
+    "scramble_vertices",
+    "serial_bfs",
+    "direction_optimizing_bfs",
+    "bfs_levels_from_parents",
+    "validate_bfs_result",
+    "ValidationError",
+]

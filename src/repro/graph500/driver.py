@@ -1,0 +1,347 @@
+"""Official Graph500 benchmark flow.
+
+The specification's run structure, reproduced end to end:
+
+1. **Generation** — produce the edge list (not timed).
+2. **Kernel 1 (construction)** — build the search-ready data structure;
+   timed.  Here that is the 3-level 1.5D partitioning; when a
+   :class:`~repro.core.preprocessing.PreprocessingReport` is supplied the
+   construction time also carries the simulated in-place global sort cost.
+3. **Root sampling** — 64 search keys sampled uniformly from vertices
+   with degree >= 1, deduplicated, as the reference code does.
+4. **Kernel 2 (BFS)** — one timed BFS per root, each validated by the
+   five spec checks.
+5. **Output statistics** — the official result block: min/firstquartile/
+   median/thirdquartile/max/mean/stddev over times and TEPS, with the
+   harmonic mean and its standard error for TEPS (the quantity the
+   Graph500 list ranks by).
+
+Times here are the *simulated* seconds of the machine model; the
+statistics machinery is the specification's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.core.engine import DistributedBFS
+from repro.core.metrics import BFSRunResult
+from repro.core.partition import PartitionedGraph, partition_graph
+from repro.graph500.rmat import generate_edges
+from repro.graph500.spec import NUM_BFS_ROOTS, Graph500Problem
+from repro.graph500.validate import validate_bfs_result
+from repro.graphs.csr import build_csr, symmetrize_edges
+from repro.graphs.stats import degrees_from_edges
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+__all__ = [
+    "Graph500Stats",
+    "Graph500Report",
+    "run_graph500",
+    "run_graph500_sssp",
+    "sample_roots",
+]
+
+
+def sample_roots(
+    degrees: np.ndarray, num_roots: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample BFS search keys per the specification.
+
+    Uniform over vertices with at least one edge, without replacement
+    (the reference implementation deduplicates and resamples).
+    """
+    candidates = np.flatnonzero(degrees > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no non-isolated vertices to sample roots from")
+    k = min(num_roots, candidates.size)
+    return rng.choice(candidates, size=k, replace=False).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Graph500Stats:
+    """The specification's summary statistics over a sample."""
+
+    minimum: float
+    firstquartile: float
+    median: float
+    thirdquartile: float
+    maximum: float
+    mean: float
+    stddev: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "Graph500Stats":
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            raise ValueError("cannot summarize an empty sample")
+        q1, med, q3 = np.percentile(v, [25, 50, 75])
+        return cls(
+            minimum=float(v.min()),
+            firstquartile=float(q1),
+            median=float(med),
+            thirdquartile=float(q3),
+            maximum=float(v.max()),
+            mean=float(v.mean()),
+            stddev=float(v.std(ddof=1)) if v.size > 1 else 0.0,
+        )
+
+
+def harmonic_mean_stats(values: np.ndarray) -> tuple[float, float]:
+    """Harmonic mean and its standard error (the spec's TEPS aggregate).
+
+    The specification computes TEPS statistics on the reciprocals:
+    ``harmonic_mean = 1 / mean(1 / TEPS)`` with the standard error
+    propagated from the reciprocal sample.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if np.any(v <= 0):
+        raise ValueError("TEPS values must be positive")
+    recip = 1.0 / v
+    hmean = 1.0 / recip.mean()
+    if v.size > 1:
+        stderr = recip.std(ddof=1) / np.sqrt(v.size - 1) * hmean * hmean
+    else:
+        stderr = 0.0
+    return float(hmean), float(stderr)
+
+
+@dataclass
+class Graph500Report:
+    """Everything a conforming run reports."""
+
+    problem: Graph500Problem
+    num_nodes: int
+    construction_seconds: float
+    roots: np.ndarray
+    bfs_times: np.ndarray
+    teps: np.ndarray
+    validated: bool
+    results: list[BFSRunResult] = field(repr=False, default_factory=list)
+
+    @property
+    def time_stats(self) -> Graph500Stats:
+        return Graph500Stats.of(self.bfs_times)
+
+    @property
+    def teps_stats(self) -> Graph500Stats:
+        return Graph500Stats.of(self.teps)
+
+    @property
+    def harmonic_mean_teps(self) -> float:
+        return harmonic_mean_stats(self.teps)[0]
+
+    @property
+    def mean_gteps(self) -> float:
+        return self.harmonic_mean_teps / 1e9
+
+    def render(self) -> str:
+        """The official-style output block."""
+        t, g = self.time_stats, self.teps_stats
+        hm, err = harmonic_mean_stats(self.teps)
+        lines = [
+            f"SCALE: {self.problem.scale}",
+            f"edgefactor: {self.problem.edge_factor}",
+            f"NBFS: {self.roots.size}",
+            f"num_nodes (simulated): {self.num_nodes}",
+            f"construction_time: {self.construction_seconds:.6e}",
+            f"min_time: {t.minimum:.6e}",
+            f"firstquartile_time: {t.firstquartile:.6e}",
+            f"median_time: {t.median:.6e}",
+            f"thirdquartile_time: {t.thirdquartile:.6e}",
+            f"max_time: {t.maximum:.6e}",
+            f"mean_time: {t.mean:.6e}",
+            f"stddev_time: {t.stddev:.6e}",
+            f"min_TEPS: {g.minimum:.6e}",
+            f"firstquartile_TEPS: {g.firstquartile:.6e}",
+            f"median_TEPS: {g.median:.6e}",
+            f"thirdquartile_TEPS: {g.thirdquartile:.6e}",
+            f"max_TEPS: {g.maximum:.6e}",
+            f"harmonic_mean_TEPS: {hm:.6e}",
+            f"harmonic_stddev_TEPS: {err:.6e}",
+            f"validation: {'PASSED' if self.validated else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_graph500(
+    scale: int,
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 1,
+    num_roots: int = NUM_BFS_ROOTS,
+    e_threshold: int | None = None,
+    h_threshold: int | None = None,
+    machine: MachineSpec | None = None,
+    config_overrides: dict | None = None,
+    validate: bool = True,
+    construction_seconds: float | None = None,
+) -> Graph500Report:
+    """Run the full Graph500 benchmark flow on the simulated machine.
+
+    Parameters
+    ----------
+    scale, rows, cols:
+        Problem SCALE and simulated mesh shape.
+    num_roots:
+        BFS roots (64 for a conforming run; fewer for quick checks).
+    e_threshold, h_threshold:
+        Partition thresholds; default from the per-scale tuning table.
+    validate:
+        Run the five spec checks on every root's output (slow but
+        conforming).
+    construction_seconds:
+        Override the kernel-1 time (e.g. from a
+        :func:`repro.core.preprocessing.preprocess` report); defaults to
+        the modeled construction estimate.
+    """
+    from repro.analysis.experiments import tuned_thresholds
+
+    problem = Graph500Problem(scale=scale)
+    if e_threshold is None or h_threshold is None:
+        e_threshold, h_threshold = tuned_thresholds(scale)
+
+    rng = np.random.default_rng(seed)
+    src, dst = generate_edges(scale, seed=seed)
+    p = rows * cols
+    if machine is None:
+        machine = MachineSpec(
+            num_nodes=p, nodes_per_supernode=cols
+        ).scaled_for(src.size / p)
+    mesh = ProcessMesh(rows, cols, machine=machine)
+
+    part = partition_graph(
+        src, dst, problem.num_vertices, mesh,
+        e_threshold=e_threshold, h_threshold=h_threshold,
+    )
+    if construction_seconds is None:
+        from repro.core.preprocessing import estimate_construction_seconds
+
+        construction_seconds = estimate_construction_seconds(part, machine)
+
+    kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
+    kwargs.update(config_overrides or {})
+    engine = DistributedBFS(part, machine=machine, config=BFSConfig(**kwargs))
+
+    degrees = part.degrees
+    roots = sample_roots(degrees, num_roots, rng=rng)
+
+    graph = None
+    if validate:
+        graph = build_csr(*symmetrize_edges(src, dst), problem.num_vertices)
+
+    times, teps, results = [], [], []
+    all_valid = True
+    for root in roots:
+        res = engine.run(int(root))
+        if validate:
+            try:
+                validate_bfs_result(
+                    graph, int(root), res.parent, edge_src=src, edge_dst=dst
+                )
+            except AssertionError:
+                all_valid = False
+        times.append(res.total_seconds)
+        teps.append(problem.num_edges / res.total_seconds)
+        results.append(res)
+
+    return Graph500Report(
+        problem=problem,
+        num_nodes=p,
+        construction_seconds=construction_seconds,
+        roots=roots,
+        bfs_times=np.array(times),
+        teps=np.array(teps),
+        validated=all_valid,
+        results=results,
+    )
+
+
+def run_graph500_sssp(
+    scale: int,
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 1,
+    num_roots: int = NUM_BFS_ROOTS,
+    e_threshold: int | None = None,
+    h_threshold: int | None = None,
+    machine: MachineSpec | None = None,
+    validate: bool = True,
+    algorithm: str = "delta-stepping",
+) -> Graph500Report:
+    """The benchmark's SSSP kernel over sampled roots.
+
+    Mirrors :func:`run_graph500` with the weighted kernel: uniform [0, 1)
+    edge weights per the specification, delta-stepping (or Bellman-Ford)
+    over the 1.5D partitioning, and the kernel-3 optimality-certificate
+    validation on every root.
+    """
+    from repro.analysis.experiments import tuned_thresholds
+    from repro.core.algorithms import generate_weights
+    from repro.core.algorithms import sssp as bellman_ford
+    from repro.core.delta_stepping import delta_stepping_sssp
+    from repro.graph500.validate_sssp import validate_sssp_result
+
+    if algorithm not in ("delta-stepping", "bellman-ford"):
+        raise ValueError(f"unknown SSSP algorithm {algorithm!r}")
+    problem = Graph500Problem(scale=scale)
+    if e_threshold is None or h_threshold is None:
+        e_threshold, h_threshold = tuned_thresholds(scale)
+
+    rng = np.random.default_rng(seed)
+    src, dst = generate_edges(scale, seed=seed)
+    weights = generate_weights(src.size, seed=seed + 1)
+    p = rows * cols
+    if machine is None:
+        machine = MachineSpec(
+            num_nodes=p, nodes_per_supernode=cols
+        ).scaled_for(src.size / p)
+    mesh = ProcessMesh(rows, cols, machine=machine)
+    part = partition_graph(
+        src, dst, problem.num_vertices, mesh,
+        e_threshold=e_threshold, h_threshold=h_threshold,
+    )
+    from repro.core.preprocessing import estimate_construction_seconds
+
+    construction = estimate_construction_seconds(part, machine)
+    roots = sample_roots(part.degrees, num_roots, rng=rng)
+
+    times, teps = [], []
+    all_valid = True
+    for root in roots:
+        if algorithm == "delta-stepping":
+            res = delta_stepping_sssp(
+                part, int(root), weights, src, dst, machine=machine
+            )
+        else:
+            res = bellman_ford(
+                part, int(root), weights, edge_src=src, edge_dst=dst,
+                machine=machine,
+            )
+        if validate:
+            try:
+                validate_sssp_result(
+                    problem.num_vertices, src, dst, weights,
+                    int(root), res.distance, res.parent,
+                )
+            except AssertionError:
+                all_valid = False
+        times.append(res.total_seconds)
+        teps.append(problem.num_edges / res.total_seconds)
+
+    return Graph500Report(
+        problem=problem,
+        num_nodes=p,
+        construction_seconds=construction,
+        roots=roots,
+        bfs_times=np.array(times),
+        teps=np.array(teps),
+        validated=all_valid,
+        results=[],
+    )

@@ -1,0 +1,237 @@
+"""Reference BFS implementations (ground truth for the distributed engines).
+
+Two single-address-space implementations:
+
+- :func:`serial_bfs` — level-synchronous top-down BFS, fully vectorized.
+- :func:`direction_optimizing_bfs` — Beamer et al.'s push/pull switching
+  BFS with the classic ``alpha``/``beta`` heuristics, returning per-iteration
+  direction decisions so tests can assert the heuristic behaves.
+
+Both return a Graph500-style parent array: ``parent[root] == root``,
+``parent[v] == -1`` for unreachable ``v``, and otherwise ``parent[v]`` is a
+neighbor of ``v`` one BFS level closer to the root.  BFS parent trees are not
+unique; engines are compared via *levels* (:func:`bfs_levels_from_parents`),
+which are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "serial_bfs",
+    "direction_optimizing_bfs",
+    "bfs_levels_from_parents",
+    "DirectionTrace",
+]
+
+
+def serial_bfs(graph: CSRGraph, root: int) -> np.ndarray:
+    """Level-synchronous top-down BFS; returns the parent array."""
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for n={n}")
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    while frontier.size:
+        # Expand all frontier adjacency lists at once.
+        starts = indptr[frontier]
+        ends = indptr[frontier + 1]
+        lens = ends - starts
+        total = int(lens.sum())
+        if total == 0:
+            break
+        srcs = np.repeat(frontier, lens)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        dsts = indices[np.repeat(starts, lens) + offs]
+        fresh = parent[dsts] == -1
+        srcs, dsts = srcs[fresh], dsts[fresh]
+        # First writer wins deterministically: keep the first occurrence of
+        # each destination in frontier order.
+        uniq, first = np.unique(dsts, return_index=True)
+        parent[uniq] = srcs[first]
+        frontier = uniq
+    return parent
+
+
+@dataclass
+class DirectionTrace:
+    """Per-iteration record of a direction-optimizing run."""
+
+    directions: list[str] = field(default_factory=list)
+    frontier_sizes: list[int] = field(default_factory=list)
+    edges_examined: list[int] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.directions)
+
+
+def direction_optimizing_bfs(
+    graph: CSRGraph,
+    root: int,
+    *,
+    alpha: float = 15.0,
+    beta: float = 18.0,
+    trace: DirectionTrace | None = None,
+) -> np.ndarray:
+    """Beamer-style direction-optimizing BFS.
+
+    Switches top-down → bottom-up when the frontier's outgoing edge count
+    exceeds (unexplored edges) / ``alpha`` and back when the frontier shrinks
+    below ``n / beta``, the heuristic from Beamer et al. (SC'12).
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for n={n}")
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees
+    total_arcs = graph.num_arcs
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    visited = np.zeros(n, dtype=bool)
+    visited[root] = True
+    frontier = np.array([root], dtype=np.int64)
+    unexplored_arcs = total_arcs - int(degrees[root])
+    bottom_up = False
+
+    while frontier.size:
+        frontier_arcs = int(degrees[frontier].sum())
+        if not bottom_up and unexplored_arcs > 0 and frontier_arcs > unexplored_arcs / alpha:
+            bottom_up = True
+        elif bottom_up and frontier.size < n / beta:
+            bottom_up = False
+
+        if bottom_up:
+            next_frontier, examined = _bottom_up_step(
+                indptr, indices, visited, frontier, parent
+            )
+        else:
+            next_frontier, examined = _top_down_step(
+                indptr, indices, visited, frontier, parent
+            )
+        if trace is not None:
+            trace.directions.append("bottom-up" if bottom_up else "top-down")
+            trace.frontier_sizes.append(int(frontier.size))
+            trace.edges_examined.append(examined)
+        unexplored_arcs -= int(degrees[next_frontier].sum())
+        frontier = next_frontier
+    return parent
+
+
+def _top_down_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    visited: np.ndarray,
+    frontier: np.ndarray,
+    parent: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    starts = indptr[frontier]
+    lens = indptr[frontier + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.array([], dtype=np.int64), 0
+    srcs = np.repeat(frontier, lens)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(lens) - lens, lens)
+    dsts = indices[np.repeat(starts, lens) + offs]
+    fresh = ~visited[dsts]
+    srcs, dsts = srcs[fresh], dsts[fresh]
+    uniq, first = np.unique(dsts, return_index=True)
+    parent[uniq] = srcs[first]
+    visited[uniq] = True
+    return uniq, total
+
+
+def _bottom_up_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    visited: np.ndarray,
+    frontier: np.ndarray,
+    parent: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    n = visited.size
+    in_frontier = np.zeros(n, dtype=bool)
+    in_frontier[frontier] = True
+    unvisited = np.flatnonzero(~visited)
+    if unvisited.size == 0:
+        return np.array([], dtype=np.int64), 0
+    starts = indptr[unvisited]
+    lens = indptr[unvisited + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.array([], dtype=np.int64), 0
+    dsts = np.repeat(unvisited, lens)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(lens) - lens, lens)
+    srcs = indices[np.repeat(starts, lens) + offs]
+    hit = in_frontier[srcs]
+    # Early exit: each unvisited vertex takes its *first* in-frontier
+    # neighbor.  We count only the arcs scanned up to and including that
+    # first hit, matching the work an early-exiting implementation does.
+    hit_dsts = dsts[hit]
+    hit_srcs = srcs[hit]
+    uniq, first = np.unique(hit_dsts, return_index=True)
+    parent[uniq] = hit_srcs[first]
+    visited[uniq] = True
+
+    # Arcs scanned with early exit: position of the first hit within each
+    # vertex's list, or the whole list when there is no hit.
+    row_start = np.cumsum(lens) - lens
+    pos_in_row = np.arange(total, dtype=np.int64) - np.repeat(row_start, lens)
+    examined_full = lens.copy()
+    if hit_dsts.size:
+        hit_pos = pos_in_row[hit]
+        # first hit position per destination vertex
+        order = np.lexsort((hit_pos, hit_dsts))
+        hd = hit_dsts[order]
+        hp = hit_pos[order]
+        first_idx = np.unique(hd, return_index=True)[1]
+        first_pos = hp[first_idx]
+        # map destination vertex -> row index in `unvisited`
+        row_of = np.searchsorted(unvisited, hd[first_idx])
+        examined_full[row_of] = first_pos + 1
+    return uniq, int(examined_full.sum())
+
+
+def bfs_levels_from_parents(
+    graph: CSRGraph, root: int, parent: np.ndarray
+) -> np.ndarray:
+    """Compute BFS levels implied by a parent array.
+
+    Follows parent pointers iteratively (vectorized pointer-jumping free
+    version: repeatedly resolve vertices whose parents' level is known).
+    Raises ``ValueError`` on cycles or out-of-range parents — useful as a
+    cheap structural check before full validation.
+    """
+    n = graph.num_vertices
+    parent = np.asarray(parent, dtype=np.int64)
+    if parent.shape != (n,):
+        raise ValueError("parent array has wrong shape")
+    level = np.full(n, -1, dtype=np.int64)
+    if parent[root] != root:
+        raise ValueError("root must be its own parent")
+    level[root] = 0
+    known = parent == root
+    known[root] = True
+    level[(parent == root) & (np.arange(n) != root)] = 1
+    remaining = np.flatnonzero((parent >= 0) & (level == -1))
+    for _ in range(n):
+        if remaining.size == 0:
+            break
+        p = parent[remaining]
+        if np.any((p < 0) | (p >= n)):
+            raise ValueError("parent pointer out of range")
+        ready = level[p] >= 0
+        level[remaining[ready]] = level[p[ready]] + 1
+        remaining = remaining[~ready]
+    if remaining.size:
+        raise ValueError("parent pointers contain a cycle")
+    return level

@@ -1,0 +1,144 @@
+"""SSSP output validation (Graph500 kernel 3's checks).
+
+For nonnegative weights, the following vectorized checks form a complete
+*optimality certificate* for a distance/parent pair — if they all pass,
+the distances are exactly the shortest-path distances:
+
+1. the root has distance 0 and is its own parent;
+2. no edge is relaxable: ``d(v) <= d(u) + w(u, v)`` for every edge with
+   ``d(u)`` finite (so no shorter path exists);
+3. every visited non-root vertex's parent edge is tight:
+   ``d(v) == d(parent(v)) + w(parent(v), v)`` and the edge exists (so
+   every reported distance is achieved by a real path);
+4. reachability is complete: no edge connects a finite vertex to an
+   infinite one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph500.validate import ValidationError
+
+__all__ = ["validate_sssp_result"]
+
+
+def validate_sssp_result(
+    num_vertices: int,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    weights: np.ndarray,
+    root: int,
+    distance: np.ndarray,
+    parent: np.ndarray,
+    *,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`ValidationError` unless (distance, parent) is an
+    exact SSSP solution of the weighted undirected multigraph."""
+    n = num_vertices
+    distance = np.asarray(distance, dtype=np.float64)
+    parent = np.asarray(parent, dtype=np.int64)
+    if distance.shape != (n,) or parent.shape != (n,):
+        raise ValidationError("distance/parent arrays have wrong shape")
+    edge_src = np.asarray(edge_src, dtype=np.int64)
+    edge_dst = np.asarray(edge_dst, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValidationError("weights must be nonnegative")
+
+    # Rule 1.
+    if not 0 <= root < n:
+        raise ValidationError("root out of range")
+    if distance[root] != 0.0:
+        raise ValidationError(f"root distance is {distance[root]}, expected 0")
+    if parent[root] != root:
+        raise ValidationError("root must be its own parent")
+
+    nonloop = edge_src != edge_dst
+    u, v, w = edge_src[nonloop], edge_dst[nonloop], weights[nonloop]
+
+    # Rule 4.
+    fin_u = np.isfinite(distance[u])
+    fin_v = np.isfinite(distance[v])
+    if np.any(fin_u != fin_v):
+        i = int(np.flatnonzero(fin_u != fin_v)[0])
+        raise ValidationError(
+            f"edge ({u[i]}, {v[i]}) connects reached and unreached vertices"
+        )
+
+    # Rule 2 (both orientations of the undirected edge).
+    both = fin_u & fin_v
+    du, dv, wk = distance[u[both]], distance[v[both]], w[both]
+    bad = (dv > du + wk + atol) | (du > dv + wk + atol)
+    if np.any(bad):
+        i = int(np.flatnonzero(bad)[0])
+        raise ValidationError(
+            f"relaxable edge ({u[both][i]}, {v[both][i]}, w={wk[i]:.6g}): "
+            f"d={du[i]:.6g} / d={dv[i]:.6g}"
+        )
+
+    # Rule 3: tight parent edges.  Build a (min-weight) lookup per pair.
+    visited = np.isfinite(distance)
+    children = np.flatnonzero(visited & (np.arange(n) != root))
+    if np.any(parent[children] < 0) or np.any(parent[children] >= n):
+        i = int(children[np.flatnonzero(
+            (parent[children] < 0) | (parent[children] >= n)
+        )[0]])
+        raise ValidationError(f"vertex {i} reached but parent {parent[i]} invalid")
+    if children.size:
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        key = lo * n + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)
+        )
+        w_min = np.minimum.reduceat(w[order], starts) if key.size else np.array([])
+        key_unique = key_sorted[starts] if key.size else np.array([], np.int64)
+
+        p = parent[children]
+        k = np.minimum(children, p) * n + np.maximum(children, p)
+        pos = np.searchsorted(key_unique, k)
+        pos = np.clip(pos, 0, max(key_unique.size - 1, 0))
+        exists = key_unique.size > 0
+        present = (key_unique[pos] == k) if exists else np.zeros(k.size, bool)
+        if not np.all(present):
+            i = int(children[np.flatnonzero(~present)[0]])
+            raise ValidationError(
+                f"parent edge ({parent[i]}, {i}) not present in the graph"
+            )
+        # Tightness: rule 2 already bounds d(v) <= d(p) + w_min; requiring
+        # d(v) >= d(p) + w_min closes it to equality, proving d(v) is
+        # achieved by a real path through the parent (inductively to the
+        # root).  A claimed distance *below* the achievable one means the
+        # path does not exist.
+        not_tight = distance[children] < distance[p] + w_min[pos] - atol
+        if np.any(not_tight):
+            i = int(children[np.flatnonzero(not_tight)[0]])
+            raise ValidationError(
+                f"vertex {i}'s distance is not achieved through parent "
+                f"{parent[i]} (parent edge not tight)"
+            )
+
+    # Rule 5: parent pointers form a forest rooted at the root (zero-
+    # weight cycles could otherwise fabricate a consistent unreachable
+    # component).
+    resolved = np.zeros(n, dtype=bool)
+    resolved[root] = True
+    resolved[~visited] = True
+    pending = np.flatnonzero(~resolved)
+    for _ in range(n):
+        if pending.size == 0:
+            break
+        ready = resolved[parent[pending]]
+        if not np.any(ready):
+            raise ValidationError(
+                f"parent pointers contain a cycle (e.g. at vertex "
+                f"{int(pending[0])})"
+            )
+        resolved[pending[ready]] = True
+        pending = pending[~ready]
+    if pending.size:
+        raise ValidationError("parent pointers contain a cycle")

@@ -1,0 +1,98 @@
+"""Additional graph generators for testing and applicability studies.
+
+The paper argues (§8) the 1.5D partitioning targets "any graph with
+extremely skewed degree distribution".  Beyond the Graph500 R-MAT
+generator (:mod:`repro.graph500.rmat`), this module provides the other
+degree regimes needed to probe that claim:
+
+- :func:`erdos_renyi_edges` — homogeneous degrees (the null case where
+  delegation should win nothing);
+- :func:`power_law_edges` — a configuration-model graph with an exact
+  target power-law exponent (web/social-like tails);
+- :func:`star_forest_edges` — adversarially hub-dominated (every edge
+  touches a hub), the stress case for delegation;
+- :func:`ring_lattice_edges` — high-diameter, zero skew (worst case for
+  direction optimization, many BFS iterations).
+
+All generators are deterministic under a seed and return plain
+``(src, dst)`` edge arrays compatible with the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "erdos_renyi_edges",
+    "power_law_edges",
+    "star_forest_edges",
+    "ring_lattice_edges",
+]
+
+
+def erdos_renyi_edges(
+    num_vertices: int, num_edges: int, *, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """G(n, m)-style uniform random edges (duplicates possible)."""
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return src, dst
+
+
+def power_law_edges(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    exponent: float = 2.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Configuration-model edges with a power-law stub distribution.
+
+    Each endpoint is drawn independently with ``P(v) ∝ (v + 1)^-alpha``
+    over a permuted vertex order — a Zipf-attachment graph whose degree
+    tail follows the target exponent.
+    """
+    if not 1.0 < exponent < 4.0:
+        raise ValueError("exponent should be in (1, 4) for a heavy tail")
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(num_vertices, dtype=np.float64) + 1.0) ** (-exponent)
+    weights /= weights.sum()
+    perm = rng.permutation(num_vertices)
+    src = perm[rng.choice(num_vertices, size=num_edges, p=weights)]
+    dst = perm[rng.choice(num_vertices, size=num_edges, p=weights)]
+    return src.astype(np.int64), dst.astype(np.int64)
+
+
+def star_forest_edges(
+    num_vertices: int, num_hubs: int, *, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every non-hub vertex attaches to one of ``num_hubs`` hubs."""
+    if not 1 <= num_hubs < num_vertices:
+        raise ValueError("need 1 <= num_hubs < num_vertices")
+    rng = np.random.default_rng(seed)
+    leaves = np.arange(num_hubs, num_vertices, dtype=np.int64)
+    hubs = rng.integers(0, num_hubs, size=leaves.size, dtype=np.int64)
+    return hubs, leaves
+
+
+def ring_lattice_edges(
+    num_vertices: int, *, neighbors: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """A ring where each vertex connects to its ``neighbors`` successors.
+
+    Diameter ~ n / (2 * neighbors): the many-iteration regime where BFS
+    frontiers never densify and direction optimization stays top-down.
+    """
+    if num_vertices < 3:
+        raise ValueError("ring needs at least 3 vertices")
+    if not 1 <= neighbors < num_vertices // 2:
+        raise ValueError("neighbors must be in [1, n/2)")
+    base = np.arange(num_vertices, dtype=np.int64)
+    src = np.concatenate([base for _ in range(neighbors)])
+    dst = np.concatenate(
+        [(base + k) % num_vertices for k in range(1, neighbors + 1)]
+    )
+    return src, dst

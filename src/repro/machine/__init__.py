@@ -1,0 +1,45 @@
+"""Models of the New Sunway machine.
+
+The paper's hardware is unavailable, so this subpackage provides calibrated
+analytic models that convert *measured algorithm behaviour* (bytes moved,
+arcs touched, messages sorted — all counted exactly by the simulated
+runtime) into modeled seconds:
+
+- :mod:`repro.machine.chip` — the SW26010-Pro processor: 6 core groups of
+  64 CPEs, LDM scratchpads, DMA, RMA, GLD/GST, and the MPE.
+- :mod:`repro.machine.ldm` — the Figure 7 LDM line/CPE offset mapping used
+  by CG-aware core-subgraph segmenting.
+- :mod:`repro.machine.network` — node counts, 256-node supernodes, and the
+  oversubscribed fat tree.
+- :mod:`repro.machine.costmodel` — collective communication timing and the
+  per-node kernel rates derived from the chip model.
+
+Calibration targets come from the paper itself (Fig. 14 throughputs, the
+9x segmenting speedup, 249 GB/s memory bandwidth) — see each module's
+docstring.
+"""
+
+from repro.machine.chip import SW26010_PRO, ChipSpec
+from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
+from repro.machine.ldm import LDMLayout, SegmentBitVectorMap
+from repro.machine.network import PAPER_EDGES_PER_NODE, MachineSpec
+from repro.machine.pullsim import (
+    PullKernelResult,
+    simulate_segmented_pull,
+    simulate_unsegmented_pull,
+)
+
+__all__ = [
+    "ChipSpec",
+    "SW26010_PRO",
+    "LDMLayout",
+    "SegmentBitVectorMap",
+    "MachineSpec",
+    "PAPER_EDGES_PER_NODE",
+    "CostModel",
+    "CollectiveKind",
+    "NodeKernelRates",
+    "PullKernelResult",
+    "simulate_segmented_pull",
+    "simulate_unsegmented_pull",
+]

@@ -1,0 +1,115 @@
+"""SW26010-Pro processor model.
+
+The chip (paper §3.1) has 6 core groups (CGs); each CG pairs one management
+processing element (MPE) with 64 compute processing elements (CPEs).  Each
+CPE owns a 256 KB local data memory (LDM) scratchpad, reachable from sibling
+CPEs in the same CG through remote memory access (RMA).  Bulk main-memory
+traffic goes through asynchronous DMA; direct loads/stores (GLD/GST) behave
+like uncached memory accesses; atomics are implemented through main memory
+and are similarly slow.
+
+Every quantity the reproduction needs is a field of :class:`ChipSpec`.  The
+values of :data:`SW26010_PRO` are calibrated against numbers stated in the
+paper:
+
+- ``dma_peak_bytes_per_s = 249.0 GB/s`` — measured chip DMA peak (§3.1.1).
+- ``gld_latency_ns`` — set so a sequential MPE bucketing loop lands at the
+  paper's 0.0406 GB/s (Fig. 14): one random read + one random write per
+  8-byte record ⇒ ~197 ns per record.
+- ``cpe_message_cycles`` and ``cross_cg_atomic_ns`` — set so the OCS-RMA
+  simulator (:mod:`repro.sort.ocs`) lands near 12.5 GB/s on one CG and
+  58.6 GB/s on six (Fig. 14), i.e. 47% memory-bandwidth utilization.
+
+Tests assert the modeled Fig. 14 shape, not exact equality: the goal is that
+relative results follow from the counted events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChipSpec", "SW26010_PRO"]
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Parameters of one SW26010-Pro style many-core processor."""
+
+    #: Core groups per chip.
+    num_core_groups: int = 6
+    #: CPEs per core group.
+    cpes_per_cg: int = 64
+    #: LDM scratchpad bytes per CPE.
+    ldm_bytes: int = 256 * 1024
+    #: CPE clock in Hz (SW26010-Pro runs at 2.25 GHz).
+    cpe_clock_hz: float = 2.25e9
+    #: Chip-wide DMA peak bandwidth, bytes/second (paper: 249.0 GB/s).
+    dma_peak_bytes_per_s: float = 249.0e9
+    #: Minimum DMA transfer for good bandwidth utilization, bytes (§4.4
+    #: cites a > 1 KB grain-size requirement).
+    dma_grain_bytes: int = 1024
+    #: Latency of one uncached main-memory access (GLD or GST), ns.
+    gld_latency_ns: float = 98.5
+    #: Latency of an isolated RMA put/get between CPEs in one CG, ns.
+    rma_latency_ns: float = 150.0
+    #: Effective per-access cost of *pipelined* fine-grained RMA gets with
+    #: multiple outstanding requests, ns.  This is the cost the segmented
+    #: pull kernel pays per frontier-bit lookup; it is what makes LDM+RMA
+    #: behave like a last-level cache (paper §7) and yields the 9x kernel
+    #: speedup of §6.4.
+    rma_pipelined_get_ns: float = 7.5
+    #: RMA streaming bandwidth between a CPE pair, bytes/second.
+    rma_bytes_per_s: float = 20.0e9
+    #: CPE cycles of register work to produce or consume one sorted message
+    #: (key extraction, LDM buffer append, bounds check).
+    cpe_message_cycles: float = 7.0
+    #: Cost of one main-memory atomic operation, ns (used for cross-CG
+    #: synchronization; the paper notes atomics are as slow as on SW26010).
+    cross_cg_atomic_ns: float = 370.0
+    #: Main memory per node, bytes (96 GiB per §2.3).
+    memory_bytes: int = 96 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.num_core_groups < 1 or self.cpes_per_cg < 1:
+            raise ValueError("chip must have at least one CG and one CPE")
+        if self.dma_peak_bytes_per_s <= 0:
+            raise ValueError("dma_peak_bytes_per_s must be positive")
+
+    @property
+    def total_cpes(self) -> int:
+        """All CPEs on the chip (384 for SW26010-Pro)."""
+        return self.num_core_groups * self.cpes_per_cg
+
+    @property
+    def dma_bytes_per_s_per_cg(self) -> float:
+        """Fair-share DMA bandwidth for a single active core group."""
+        return self.dma_peak_bytes_per_s / self.num_core_groups
+
+    @property
+    def cpe_message_ns(self) -> float:
+        """Per-message CPE register work in nanoseconds."""
+        return self.cpe_message_cycles / self.cpe_clock_hz * 1e9
+
+    def gld_random_access_time(self, num_accesses: int) -> float:
+        """Seconds for ``num_accesses`` dependent uncached accesses."""
+        return num_accesses * self.gld_latency_ns * 1e-9
+
+    def dma_stream_time(self, num_bytes: float, num_cgs: int | None = None) -> float:
+        """Seconds to stream ``num_bytes`` through DMA with ``num_cgs`` CGs.
+
+        Bandwidth scales with the number of participating CGs up to the chip
+        peak; ``None`` means the whole chip.
+        """
+        cgs = self.num_core_groups if num_cgs is None else num_cgs
+        if not 1 <= cgs <= self.num_core_groups:
+            raise ValueError(f"num_cgs must be in [1, {self.num_core_groups}]")
+        bw = self.dma_peak_bytes_per_s * cgs / self.num_core_groups
+        return num_bytes / bw
+
+    def rma_batch_time(self, batch_bytes: int) -> float:
+        """Seconds for one RMA put of ``batch_bytes`` (latency + stream)."""
+        return self.rma_latency_ns * 1e-9 + batch_bytes / self.rma_bytes_per_s
+
+
+#: The chip model used throughout the reproduction.
+SW26010_PRO = ChipSpec()

@@ -1,0 +1,188 @@
+"""Traffic and compute ledger.
+
+Every communication and kernel the simulated BFS performs is recorded here
+with its *exact counted volume* and its *modeled time*.  The ledger is the
+bridge between the functional simulation and the paper's evaluation
+figures:
+
+- Fig. 10's per-subgraph breakdown = compute+comm seconds grouped by the
+  event ``phase`` tag (``"EH2EH"``, ``"L2L"``, ...);
+- Fig. 11's per-communication-type breakdown = comm seconds grouped by
+  :class:`~repro.machine.costmodel.CollectiveKind`, plus the compute and
+  imbalance terms;
+- Fig. 9's GTEPS = traversed edges / ``total_seconds``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.costmodel import CollectiveKind, CostModel
+
+__all__ = ["CommEvent", "ComputeEvent", "TrafficLedger"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective operation."""
+
+    phase: str
+    kind: CollectiveKind
+    participants: int
+    max_bytes_intra: float
+    max_bytes_inter: float
+    total_bytes: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """One compute kernel invocation (time of the busiest node)."""
+
+    phase: str
+    kernel: str
+    max_items: int
+    total_items: int
+    seconds: float
+    #: Idle time of the average node while waiting for the busiest one.
+    imbalance_seconds: float = 0.0
+
+
+@dataclass
+class TrafficLedger:
+    """Accumulates priced communication and compute events."""
+
+    cost_model: CostModel
+    comm_events: list[CommEvent] = field(default_factory=list)
+    compute_events: list[ComputeEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def charge_collective(
+        self,
+        phase: str,
+        kind: CollectiveKind,
+        participants: int,
+        max_bytes_intra: float = 0.0,
+        max_bytes_inter: float = 0.0,
+        total_bytes: float | None = None,
+    ) -> float:
+        """Price and record one collective; returns its modeled seconds."""
+        if max_bytes_intra < 0 or max_bytes_inter < 0:
+            raise ValueError("byte volumes must be nonnegative")
+        if total_bytes is not None and total_bytes < 0:
+            raise ValueError("total_bytes must be nonnegative")
+        seconds = self.cost_model.collective_time(
+            kind, participants, max_bytes_intra, max_bytes_inter
+        )
+        self.comm_events.append(
+            CommEvent(
+                phase=phase,
+                kind=kind,
+                participants=participants,
+                max_bytes_intra=max_bytes_intra,
+                max_bytes_inter=max_bytes_inter,
+                total_bytes=(
+                    max_bytes_intra + max_bytes_inter
+                    if total_bytes is None
+                    else total_bytes
+                ),
+                seconds=seconds,
+            )
+        )
+        return seconds
+
+    def charge_compute(
+        self,
+        phase: str,
+        kernel: str,
+        per_node_items: np.ndarray | list[int],
+        seconds_for_max: float,
+    ) -> float:
+        """Record a kernel: time is the busiest node's, imbalance is the gap.
+
+        ``per_node_items`` is the exact per-node work vector (arcs scanned,
+        messages produced...); ``seconds_for_max`` prices the busiest node.
+        """
+        if seconds_for_max < 0:
+            raise ValueError("seconds_for_max must be nonnegative")
+        items = np.asarray(per_node_items, dtype=np.int64)
+        if items.size and items.min() < 0:
+            raise ValueError("per-node item counts must be nonnegative")
+        max_items = int(items.max()) if items.size else 0
+        total_items = int(items.sum()) if items.size else 0
+        mean_items = total_items / items.size if items.size else 0.0
+        imbalance = (
+            seconds_for_max * (1.0 - mean_items / max_items) if max_items else 0.0
+        )
+        self.compute_events.append(
+            ComputeEvent(
+                phase=phase,
+                kernel=kernel,
+                max_items=max_items,
+                total_items=total_items,
+                seconds=seconds_for_max,
+                imbalance_seconds=imbalance,
+            )
+        )
+        return seconds_for_max
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def comm_seconds(self) -> float:
+        return float(sum(e.seconds for e in self.comm_events))
+
+    @property
+    def compute_seconds(self) -> float:
+        return float(sum(e.seconds for e in self.compute_events))
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comm_seconds + self.compute_seconds
+
+    @property
+    def imbalance_seconds(self) -> float:
+        return float(sum(e.imbalance_seconds for e in self.compute_events))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(e.total_bytes for e in self.comm_events))
+
+    def seconds_by_phase(self) -> dict[str, float]:
+        """Phase tag -> total (comm + compute) seconds (Fig. 10)."""
+        acc: dict[str, float] = defaultdict(float)
+        for e in self.comm_events:
+            acc[e.phase] += e.seconds
+        for c in self.compute_events:
+            acc[c.phase] += c.seconds
+        return dict(acc)
+
+    def comm_seconds_by_kind(self) -> dict[CollectiveKind, float]:
+        """Collective kind -> seconds (Fig. 11's comm categories)."""
+        acc: dict[CollectiveKind, float] = defaultdict(float)
+        for e in self.comm_events:
+            acc[e.kind] += e.seconds
+        return dict(acc)
+
+    def bytes_by_kind(self) -> dict[CollectiveKind, float]:
+        acc: dict[CollectiveKind, float] = defaultdict(float)
+        for e in self.comm_events:
+            acc[e.kind] += e.total_bytes
+        return dict(acc)
+
+    def merge(self, other: "TrafficLedger") -> None:
+        """Fold another ledger's events into this one (multi-root runs)."""
+        self.comm_events.extend(other.comm_events)
+        self.compute_events.extend(other.compute_events)
+
+    def reset(self) -> None:
+        self.comm_events.clear()
+        self.compute_events.clear()

@@ -1,0 +1,30 @@
+"""Sorting substrates.
+
+The paper treats sorting as a first-class meta-kernel:
+
+- :mod:`repro.sort.ocs` — On-Chip Sorting with RMA (OCS-RMA, §4.4): the
+  producer/consumer bucket sort running on a core group's CPEs, used for
+  message generation, L2L forwarding, and two-stage destination updates.
+- :mod:`repro.sort.bucket` — the sequential MPE bucketing baseline and the
+  vectorized bucket partition primitive shared by the runtime.
+- :mod:`repro.sort.psrs` — Parallel Sorting by Regular Sampling (§5,
+  in-place global sort for preprocessing).
+- :mod:`repro.sort.radix` — PARADIS-style LSD radix sort used as PSRS's
+  local sort.
+"""
+
+from repro.sort.bucket import bucket_partition, mpe_bucket_sort
+from repro.sort.ocs import OCSConfig, OCSResult, simulate_ocs_rma
+from repro.sort.psrs import psrs_sort
+from repro.sort.radix import radix_argsort, radix_sort
+
+__all__ = [
+    "OCSConfig",
+    "OCSResult",
+    "simulate_ocs_rma",
+    "bucket_partition",
+    "mpe_bucket_sort",
+    "psrs_sort",
+    "radix_sort",
+    "radix_argsort",
+]

@@ -1,0 +1,191 @@
+"""On-Chip Sorting with RMA (OCS-RMA, paper §4.4).
+
+The kernel sorts a stream of fixed-size messages into buckets without
+atomics and without redundant main-memory round trips:
+
+- the 64 CPEs of a core group split into 32 *producers* and 32 *consumers*;
+- bucket ``x`` belongs to consumer ``x mod 32``;
+- each producer keeps 32 send buffers of 512 bytes (one per consumer);
+  a full buffer is RMA-put into the producer's slot in the consumer's
+  receive window;
+- consumers drain their receive slots and DMA completed buckets to memory.
+
+With several CGs, each CG runs the kernel on a slice of the input and
+claims output cursors with main-memory atomics ("rarely conflict", §4.4),
+which costs a little efficiency — visible in Fig. 14 (12.5 GB/s x 6 CGs
+would be 75, the measured 6-CG rate is 58.6).
+
+:func:`simulate_ocs_rma` executes the bucketing *functionally* (the output
+really is the input stably partitioned by bucket) while counting the DMA
+bytes, RMA batches, per-CPE message work, and cross-CG atomics the chip
+would perform, then prices them with :class:`repro.machine.chip.ChipSpec`.
+The closed-form rate in :class:`repro.machine.costmodel.NodeKernelRates`
+is the balanced-load limit of this event count; a test pins the two within
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.chip import ChipSpec, SW26010_PRO
+from repro.sort.bucket import bucket_partition
+
+__all__ = ["OCSConfig", "OCSResult", "simulate_ocs_rma"]
+
+
+@dataclass(frozen=True)
+class OCSConfig:
+    """Kernel configuration (defaults are the paper's)."""
+
+    #: Producer CPEs per core group (half of 64).
+    producers_per_cg: int = 32
+    #: Consumer CPEs per core group.
+    consumers_per_cg: int = 32
+    #: Send/receive buffer size per (producer, consumer) pair, bytes.
+    buffer_bytes: int = 512
+    #: Bytes per message.
+    message_bytes: int = 8
+    #: Core groups participating (1..chip.num_core_groups).
+    num_cgs: int = 6
+
+    def __post_init__(self) -> None:
+        if self.buffer_bytes < self.message_bytes:
+            raise ValueError("buffer must hold at least one message")
+        if self.producers_per_cg < 1 or self.consumers_per_cg < 1:
+            raise ValueError("need at least one producer and consumer per CG")
+        if self.num_cgs < 1:
+            raise ValueError("num_cgs must be >= 1")
+
+    @property
+    def messages_per_batch(self) -> int:
+        return self.buffer_bytes // self.message_bytes
+
+    @property
+    def total_producers(self) -> int:
+        return self.producers_per_cg * self.num_cgs
+
+
+@dataclass(frozen=True)
+class OCSResult:
+    """Functional output and modeled cost of one OCS-RMA invocation."""
+
+    #: Messages stably partitioned by bucket.
+    values: np.ndarray
+    #: ``offsets[b]:offsets[b+1]`` delimits bucket ``b`` in ``values``.
+    offsets: np.ndarray
+    #: Event counts.
+    num_messages: int
+    num_batches: int
+    num_atomics: int
+    dma_bytes: int
+    #: Modeled execution time, seconds.
+    modeled_seconds: float
+    config: OCSConfig = field(repr=False, default=OCSConfig())
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Sorted bytes per modeled second (the Fig. 14 metric)."""
+        if self.modeled_seconds <= 0:
+            return 0.0
+        return self.num_messages * self.config.message_bytes / self.modeled_seconds
+
+    def bandwidth_utilization(self, chip: ChipSpec = SW26010_PRO) -> float:
+        """Memory-bandwidth utilization: one read + one write per message."""
+        return 2.0 * self.throughput_bytes_per_s / chip.dma_peak_bytes_per_s
+
+
+def simulate_ocs_rma(
+    values: np.ndarray,
+    bucket_of: np.ndarray,
+    num_buckets: int,
+    *,
+    config: OCSConfig = OCSConfig(),
+    chip: ChipSpec = SW26010_PRO,
+) -> OCSResult:
+    """Run OCS-RMA: functionally bucket ``values``, count and price events.
+
+    Parameters
+    ----------
+    values:
+        Message array (1-D scalars or 2-D row records).
+    bucket_of:
+        Bucket index per message in ``[0, num_buckets)``.
+    num_buckets:
+        Bucket count (e.g. 256 for the Fig. 14 microbenchmark, or the
+        destination-rank count for message generation).
+    config, chip:
+        Kernel and chip parameters.
+    """
+    if config.num_cgs > chip.num_core_groups:
+        raise ValueError(
+            f"config asks for {config.num_cgs} CGs, chip has {chip.num_core_groups}"
+        )
+    bucket_of = np.asarray(bucket_of, dtype=np.int64)
+    n = bucket_of.size
+
+    out, offsets = bucket_partition(values, bucket_of, num_buckets)
+
+    # --- event counting -------------------------------------------------
+    # Input is split into contiguous chunks round-robin over producers;
+    # message i is handled by producer (i * P) // n for near-equal chunks.
+    producers = config.total_producers
+    if n:
+        producer_of = (np.arange(n, dtype=np.int64) * producers) // n
+        consumer_of = bucket_of % config.consumers_per_cg
+        # Batches: ceil(count / messages_per_batch) per (producer, consumer)
+        # pair with a nonzero count (every pair flushes its partial buffer
+        # at the end).
+        pair = producer_of * config.consumers_per_cg + consumer_of
+        pair_counts = np.bincount(pair, minlength=producers * config.consumers_per_cg)
+        nz = pair_counts[pair_counts > 0]
+        batches = int(np.sum(-(-nz // config.messages_per_batch)))
+        msgs_per_producer = np.bincount(producer_of, minlength=producers)
+        batches_per_producer = np.zeros(producers, dtype=np.int64)
+        pair_producer = np.arange(producers * config.consumers_per_cg) // config.consumers_per_cg
+        np.add.at(
+            batches_per_producer,
+            pair_producer,
+            -(-pair_counts // config.messages_per_batch),
+        )
+        # Consumer-side message counts (within each CG, consumers see the
+        # messages of that CG's producer slice).
+        cg_of_producer = np.arange(producers) // config.producers_per_cg
+        cg_of_msg = cg_of_producer[producer_of]
+        cons_slot = cg_of_msg * config.consumers_per_cg + consumer_of
+        msgs_per_consumer = np.bincount(
+            cons_slot, minlength=config.num_cgs * config.consumers_per_cg
+        )
+        max_prod_msgs = int(msgs_per_producer.max())
+        max_cons_msgs = int(msgs_per_consumer.max())
+        max_prod_batches = int(batches_per_producer.max())
+    else:
+        batches = 0
+        max_prod_msgs = max_cons_msgs = max_prod_batches = 0
+
+    atomics = batches if config.num_cgs > 1 else 0
+    dma_bytes = 2 * n * config.message_bytes
+
+    # --- pricing ---------------------------------------------------------
+    t_dma = chip.dma_stream_time(dma_bytes, num_cgs=config.num_cgs)
+    t_cpe = (max_prod_msgs + max_cons_msgs) * chip.cpe_message_ns * 1e-9
+    t_rma = max_prod_batches * chip.rma_batch_time(config.buffer_bytes)
+    t_atomic = (
+        max_prod_batches * chip.cross_cg_atomic_ns * 1e-9
+        if config.num_cgs > 1
+        else 0.0
+    )
+    seconds = t_dma + t_cpe + t_rma + t_atomic
+
+    return OCSResult(
+        values=out,
+        offsets=offsets,
+        num_messages=n,
+        num_batches=batches,
+        num_atomics=atomics,
+        dma_bytes=dma_bytes,
+        modeled_seconds=max(seconds, 1e-30),
+        config=config,
+    )

@@ -1,0 +1,6 @@
+"""Pytest configuration: make tests/ importable for shared helpers."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,52 @@
+"""Tests for the SW26010-Pro chip model."""
+
+import pytest
+
+from repro.machine.chip import SW26010_PRO, ChipSpec
+
+
+class TestChipSpec:
+    def test_defaults_match_paper(self):
+        assert SW26010_PRO.num_core_groups == 6
+        assert SW26010_PRO.cpes_per_cg == 64
+        assert SW26010_PRO.total_cpes == 384
+        assert SW26010_PRO.ldm_bytes == 256 * 1024
+        assert SW26010_PRO.dma_peak_bytes_per_s == pytest.approx(249.0e9)
+        assert SW26010_PRO.memory_bytes == 96 * 1024**3
+
+    def test_dma_share_per_cg(self):
+        assert SW26010_PRO.dma_bytes_per_s_per_cg == pytest.approx(249.0e9 / 6)
+
+    def test_dma_stream_time_scales_with_cgs(self):
+        one = SW26010_PRO.dma_stream_time(1e9, num_cgs=1)
+        six = SW26010_PRO.dma_stream_time(1e9, num_cgs=6)
+        assert one == pytest.approx(6 * six)
+
+    def test_dma_stream_time_default_whole_chip(self):
+        assert SW26010_PRO.dma_stream_time(249.0e9) == pytest.approx(1.0)
+
+    def test_dma_invalid_cg_count(self):
+        with pytest.raises(ValueError):
+            SW26010_PRO.dma_stream_time(1.0, num_cgs=7)
+        with pytest.raises(ValueError):
+            SW26010_PRO.dma_stream_time(1.0, num_cgs=0)
+
+    def test_gld_time(self):
+        t = SW26010_PRO.gld_random_access_time(1000)
+        assert t == pytest.approx(1000 * SW26010_PRO.gld_latency_ns * 1e-9)
+
+    def test_rma_batch_time_has_latency_floor(self):
+        assert SW26010_PRO.rma_batch_time(0) == pytest.approx(
+            SW26010_PRO.rma_latency_ns * 1e-9
+        )
+        assert SW26010_PRO.rma_batch_time(512) > SW26010_PRO.rma_batch_time(0)
+
+    def test_cpe_message_ns(self):
+        spec = ChipSpec(cpe_message_cycles=9.0, cpe_clock_hz=3.0e9)
+        assert spec.cpe_message_ns == pytest.approx(3.0)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ChipSpec(num_core_groups=0)
+        with pytest.raises(ValueError):
+            ChipSpec(dma_peak_bytes_per_s=0.0)

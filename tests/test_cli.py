@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_mesh_parsing(self):
+        args = build_parser().parse_args(["bfs", "--mesh", "4x8"])
+        assert args.mesh == (4, 8)
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bfs", "--mesh", "4by8"])
+
+    def test_zero_mesh_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bfs", "--mesh", "0x8"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_bfs(self, capsys):
+        rc = main(["bfs", "--scale", "10", "--mesh", "2x2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sim GTEPS" in out
+        assert "per-iteration directions" in out
+
+    def test_bfs_explicit_root(self, capsys):
+        rc = main(["bfs", "--scale", "10", "--mesh", "2x2", "--root", "5"])
+        assert rc == 0
+
+    def test_graph500(self, capsys):
+        rc = main([
+            "graph500", "--scale", "10", "--mesh", "2x2", "--roots", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "harmonic_mean_TEPS" in out
+        assert "validation: PASSED" in out
+
+    def test_graph500_no_validate(self, capsys):
+        rc = main([
+            "graph500", "--scale", "10", "--mesh", "2x2", "--roots", "2",
+            "--no-validate",
+        ])
+        assert rc == 0
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--points", "9:2x2,10:2x2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "weak scaling" in out
+        assert "100%" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--scale", "10", "--mesh", "2x2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1.5D (ours)" in out
+        assert "2D" in out
+
+    def test_ocs(self, capsys):
+        rc = main(["ocs", "--mib", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "6 CGs" in out
+        assert "utilization" in out
+
+    def test_threshold_flags(self, capsys):
+        rc = main([
+            "bfs", "--scale", "10", "--mesh", "2x2",
+            "--e-threshold", "64", "--h-threshold", "8",
+        ])
+        assert rc == 0
+
+    def test_sssp_delta_stepping(self, capsys):
+        rc = main(["sssp", "--scale", "10", "--mesh", "2x2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "buckets" in out and "relaxations" in out
+
+    def test_sssp_bellman_ford(self, capsys):
+        rc = main([
+            "sssp", "--scale", "10", "--mesh", "2x2",
+            "--algorithm", "bellman-ford",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Bellman-Ford rounds" in out
+
+    def test_sssp_explicit_delta(self, capsys):
+        rc = main(["sssp", "--scale", "9", "--mesh", "2x2", "--delta", "0.25"])
+        assert rc == 0
+        assert "delta = 0.25" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Tests for the cost model: collective timing + chip-derived kernel rates.
+
+The kernel-rate tests pin the model to the paper's measured anchors
+(Fig. 14 throughputs, §6.4's 9x segmenting speedup) with tolerances — this
+is the calibration contract every other experiment relies on.
+"""
+
+import pytest
+
+from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
+from repro.machine.network import MachineSpec
+
+
+class TestCollectiveTime:
+    def setup_method(self):
+        self.model = CostModel(MachineSpec(num_nodes=1024))
+
+    def test_barrier_is_latency_only(self):
+        t = self.model.collective_time(CollectiveKind.BARRIER, 64)
+        assert t == self.model.machine.collective_latency(64)
+
+    def test_bandwidth_term_scales_with_bytes(self):
+        t1 = self.model.collective_time(CollectiveKind.ALLGATHER, 64, 1e6, 0)
+        t2 = self.model.collective_time(CollectiveKind.ALLGATHER, 64, 2e6, 0)
+        assert t2 > t1
+
+    def test_inter_supernode_bytes_cost_more(self):
+        intra = self.model.collective_time(CollectiveKind.ALLTOALLV, 64, 1e7, 0)
+        inter = self.model.collective_time(CollectiveKind.ALLTOALLV, 64, 0, 1e7)
+        assert inter > 5 * intra  # 8x oversubscription minus latency floor
+
+    def test_alltoallv_latency_scales_with_participants(self):
+        small = self.model.collective_time(CollectiveKind.ALLTOALLV, 16)
+        large = self.model.collective_time(CollectiveKind.ALLTOALLV, 1024)
+        assert large > small
+
+    def test_allreduce_doubles_bandwidth_term(self):
+        rs = self.model.collective_time(CollectiveKind.REDUCE_SCATTER, 64, 1e9, 0)
+        ar = self.model.collective_time(CollectiveKind.ALLREDUCE, 64, 1e9, 0)
+        lat = self.model.machine.collective_latency(64)
+        assert (ar - lat) == pytest.approx(2 * (rs - lat))
+
+    def test_participants_validated(self):
+        with pytest.raises(ValueError):
+            self.model.collective_time(CollectiveKind.BARRIER, 0)
+
+
+class TestKernelRateCalibration:
+    """Pin the model to the paper's measured anchors."""
+
+    def setup_method(self):
+        self.rates = NodeKernelRates()
+
+    def test_fig14_mpe_throughput(self):
+        gbps = self.rates.mpe_rate() * 8 / 1e9
+        assert gbps == pytest.approx(0.0406, rel=0.05)
+
+    def test_fig14_one_cg_throughput(self):
+        gbps = self.rates.message_throughput_bytes_per_s(1) / 1e9
+        assert gbps == pytest.approx(12.5, rel=0.15)
+
+    def test_fig14_six_cg_throughput(self):
+        gbps = self.rates.message_throughput_bytes_per_s(6) / 1e9
+        assert gbps == pytest.approx(58.6, rel=0.15)
+
+    def test_fig14_bandwidth_utilization_under_50pct(self):
+        # one read + one write per message over the 249 GB/s peak
+        util = self.rates.message_throughput_bytes_per_s(6) * 2 / 249e9
+        assert 0.40 < util < 0.50
+
+    def test_fig14_speedup_vs_mpe(self):
+        speedup = self.rates.message_throughput_bytes_per_s(6) / (
+            self.rates.mpe_rate() * 8
+        )
+        assert 1000 < speedup < 2000  # paper: 1443x
+
+    def test_six_cgs_less_efficient_per_cg_than_one(self):
+        per_cg_6 = self.rates.message_throughput_bytes_per_s(6) / 6
+        per_cg_1 = self.rates.message_throughput_bytes_per_s(1)
+        assert per_cg_6 < per_cg_1  # cross-CG atomics cost something
+
+    def test_segmenting_speedup_near_9x(self):
+        assert self.rates.segmenting_speedup() == pytest.approx(9.0, rel=0.15)
+
+    def test_pull_rate_dispatch(self):
+        assert self.rates.pull_rate(True) == self.rates.pull_rate_segmented()
+        assert self.rates.pull_rate(False) == self.rates.pull_rate_unsegmented()
+
+
+class TestKernelTime:
+    def setup_method(self):
+        self.rates = NodeKernelRates()
+
+    def test_zero_items_is_free(self):
+        assert self.rates.kernel_time(0, 1e9) == 0.0
+
+    def test_small_kernels_take_cheaper_engine(self):
+        # Below the spawn threshold the runtime picks the faster of the
+        # MPE and spawning the CPE clusters.
+        mpe_time = 100 / self.rates.mpe_rate()
+        cpe_time = self.rates.cpe_spawn_latency_s + 100 / 1e12
+        assert self.rates.kernel_time(100, 1e12) == pytest.approx(
+            min(mpe_time, cpe_time)
+        )
+        # with a slow CPE rate, the MPE path wins outright
+        assert self.rates.kernel_time(100, 1.0) == pytest.approx(mpe_time)
+
+    def test_large_kernels_use_cpes(self):
+        items = 10_000_000
+        t = self.rates.kernel_time(items, self.rates.pull_rate_segmented())
+        mpe_t = items / self.rates.mpe_rate()
+        assert t < mpe_t / 100
+
+    def test_spawn_latency_floor(self):
+        t = self.rates.kernel_time(self.rates.cpe_spawn_threshold, 1e30)
+        assert t >= self.rates.cpe_spawn_latency_s
+
+    def test_message_rate_consistent_with_throughput(self):
+        assert self.rates.message_rate(6) == pytest.approx(
+            self.rates.message_throughput_bytes_per_s(6) / 8
+        )

@@ -1,0 +1,233 @@
+"""Integration and property tests for the 1.5D BFS engine.
+
+The contract: for any graph, mesh, thresholds, and optimization toggles,
+the engine's parent array passes Graph500 validation and its levels equal
+the serial reference's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BFSConfig, DistributedBFS, partition_graph
+from repro.graph500.rmat import generate_edges
+from repro.graph500.reference import bfs_levels_from_parents, serial_bfs
+from repro.graph500.validate import validate_bfs_result
+from repro.graphs.csr import build_csr, symmetrize_edges
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+from helpers import random_edge_list
+
+
+def build_setup(scale=11, rows=2, cols=2, e_thr=128, h_thr=16, seed=1, **cfg_kwargs):
+    src, dst = generate_edges(scale, seed=seed)
+    n = 1 << scale
+    machine = MachineSpec(num_nodes=rows * cols, nodes_per_supernode=cols)
+    mesh = ProcessMesh(rows, cols, machine=machine)
+    part = partition_graph(src, dst, n, mesh, e_threshold=e_thr, h_threshold=h_thr)
+    config = BFSConfig(e_threshold=e_thr, h_threshold=h_thr, **cfg_kwargs)
+    engine = DistributedBFS(part, machine=machine, config=config)
+    graph = build_csr(*symmetrize_edges(src, dst), n)
+    return engine, graph, src, dst
+
+
+def assert_correct(engine, graph, root, src=None, dst=None):
+    res = engine.run(root)
+    validate_bfs_result(graph, root, res.parent, edge_src=src, edge_dst=dst)
+    ref = serial_bfs(graph, root)
+    la = bfs_levels_from_parents(graph, root, ref)
+    lb = bfs_levels_from_parents(graph, root, res.parent)
+    assert np.array_equal(la, lb), "levels differ from serial reference"
+    return res
+
+
+class TestCorrectness:
+    def test_rmat_graph_multiple_roots(self):
+        engine, graph, src, dst = build_setup()
+        rng = np.random.default_rng(0)
+        candidates = np.flatnonzero(graph.degrees > 0)
+        for root in rng.choice(candidates, size=4, replace=False):
+            assert_correct(engine, graph, int(root), src, dst)
+
+    def test_isolated_root(self):
+        engine, graph, _, _ = build_setup()
+        isolated = np.flatnonzero(graph.degrees == 0)
+        if isolated.size:
+            res = engine.run(int(isolated[0]))
+            assert res.num_visited == 1
+
+    def test_hub_root(self):
+        engine, graph, src, dst = build_setup()
+        assert_correct(engine, graph, int(np.argmax(graph.degrees)), src, dst)
+
+    def test_all_ablation_configs_correct(self):
+        graph = None
+        for kwargs in (
+            dict(sub_iteration_direction=False),
+            dict(segmenting=False),
+            dict(delayed_reduction=False),
+            dict(edge_aware_balance=False),
+            dict(
+                sub_iteration_direction=False,
+                segmenting=False,
+                delayed_reduction=False,
+                edge_aware_balance=False,
+            ),
+        ):
+            engine, graph, src, dst = build_setup(**kwargs)
+            assert_correct(engine, graph, 0 if graph.degrees[0] else int(np.argmax(graph.degrees)), src, dst)
+
+    def test_single_rank_mesh(self):
+        engine, graph, src, dst = build_setup(rows=1, cols=1)
+        assert_correct(engine, graph, int(np.argmax(graph.degrees)), src, dst)
+
+    def test_tall_and_wide_meshes(self):
+        for rows, cols in ((4, 1), (1, 4), (4, 2)):
+            engine, graph, src, dst = build_setup(rows=rows, cols=cols)
+            assert_correct(engine, graph, int(np.argmax(graph.degrees)), src, dst)
+
+    def test_no_h_class(self):
+        engine, graph, src, dst = build_setup(e_thr=64, h_thr=64)
+        assert_correct(engine, graph, int(np.argmax(graph.degrees)), src, dst)
+
+    def test_no_l_class(self):
+        engine, graph, src, dst = build_setup(e_thr=64, h_thr=1)
+        assert_correct(engine, graph, int(np.argmax(graph.degrees)), src, dst)
+
+    def test_root_out_of_range(self):
+        engine, _, _, _ = build_setup()
+        with pytest.raises(ValueError, match="root"):
+            engine.run(1 << 11)
+
+
+class TestModeledBehaviour:
+    def test_time_positive_and_finite(self):
+        engine, graph, _, _ = build_setup()
+        res = engine.run(int(np.argmax(graph.degrees)))
+        assert 0 < res.total_seconds < 60
+
+    def test_direction_optimization_engages(self):
+        engine, graph, _, _ = build_setup()
+        res = engine.run(int(np.argmax(graph.degrees)))
+        dirs = res.directions_of("EH2EH")
+        assert "pull" in dirs and "push" in dirs
+
+    def test_eh2eh_pulls_before_l2l(self):
+        """Hub classes activate earlier, so EH2EH flips to pull in an
+        earlier iteration than L2L (the point of §4.2)."""
+        engine, graph, _, _ = build_setup(scale=12, e_thr=256, h_thr=32)
+        res = engine.run(int(np.argmax(graph.degrees)))
+        eh = res.directions_of("EH2EH")
+        l2l = res.directions_of("L2L")
+        first_pull = lambda ds: next((i for i, d in enumerate(ds) if d == "pull"), 99)
+        assert first_pull(eh) <= first_pull(l2l)
+
+    def test_segmenting_speeds_up_run(self):
+        base = build_setup(segmenting=False)[0]
+        fast = build_setup(segmenting=True)[0]
+        root = 0
+        t_base = base.run(root).total_seconds
+        t_fast = fast.run(root).total_seconds
+        assert t_fast <= t_base
+
+    def test_sub_iteration_avoids_dragging_l_into_pull(self):
+        """§4.2: sub-iteration direction starts bottom-up on the EH core
+        "without dragging the mostly unvisited L vertices into the
+        bottom-up procedure" — so with a low-degree root, L2L's first pull
+        comes no earlier than whole-iteration's, and the time spent
+        pulling the non-core components shrinks."""
+        engine_sub, graph, _, _ = build_setup(
+            scale=14, rows=4, cols=4, e_thr=512, h_thr=32,
+            sub_iteration_direction=True,
+        )
+        engine_whole, _, _, _ = build_setup(
+            scale=14, rows=4, cols=4, e_thr=512, h_thr=32,
+            sub_iteration_direction=False,
+        )
+        root = int(np.flatnonzero(graph.degrees == 1)[0])
+        res_sub = engine_sub.run(root)
+        res_whole = engine_whole.run(root)
+
+        def first_pull(ds):
+            return next((i for i, d in enumerate(ds) if d == "pull"), 10**9)
+
+        assert first_pull(res_sub.directions_of("L2L")) >= first_pull(
+            res_whole.directions_of("L2L")
+        )
+        assert (
+            res_sub.time_by_direction()["others pull"]
+            <= res_whole.time_by_direction()["others pull"]
+        )
+
+    def test_delayed_reduction_cheaper(self):
+        delayed = build_setup(delayed_reduction=True)[0]
+        eager = build_setup(delayed_reduction=False)[0]
+        root = 0
+        assert delayed.run(root).total_seconds <= eager.run(root).total_seconds
+
+    def test_ledger_phases_cover_components(self):
+        engine, graph, _, _ = build_setup()
+        res = engine.run(int(np.argmax(graph.degrees)))
+        phases = set(res.time_by_phase())
+        assert "EH2EH" in phases
+        assert "reduce" in phases or engine.part.num_eh == 0
+
+    def test_activation_trace_shape(self):
+        """Fig. 5 shape: E reaches its activation peak no later than L."""
+        engine, graph, _, _ = build_setup(scale=13, e_thr=256, h_thr=32)
+        res = engine.run(int(np.argmax(graph.degrees)))
+        trace = res.activation_trace(engine.part.class_sizes())
+        peak = lambda xs: int(np.argmax(xs)) if xs else 0
+        assert peak(trace["E"]) <= peak(trace["L"])
+
+    def test_messages_recorded_for_remote_components(self):
+        engine, graph, _, _ = build_setup()
+        res = engine.run(int(np.argmax(graph.degrees)))
+        total_msgs = sum(sum(r.messages.values()) for r in res.iterations)
+        assert total_msgs > 0
+
+    def test_gteps_uses_problem_edges(self):
+        from repro.graph500.spec import Graph500Problem
+
+        engine, graph, _, _ = build_setup()
+        res = engine.run(0)
+        p = Graph500Problem(scale=11)
+        assert res.simulated_gteps(p) == pytest.approx(
+            p.num_edges / res.total_seconds / 1e9
+        )
+
+
+@given(
+    seed=st.integers(0, 300),
+    n_exp=st.integers(4, 7),
+    rows=st.integers(1, 3),
+    cols=st.integers(1, 3),
+    h_thr=st.integers(2, 10),
+    e_extra=st.integers(0, 20),
+    sub_iter=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_engine_matches_reference(
+    seed, n_exp, rows, cols, h_thr, e_extra, sub_iter
+):
+    n = 1 << n_exp
+    src, dst = random_edge_list(n, 3 * n, seed=seed)
+    mesh = ProcessMesh(rows, cols)
+    part = partition_graph(
+        src, dst, n, mesh, e_threshold=h_thr + e_extra, h_threshold=h_thr
+    )
+    config = BFSConfig(
+        e_threshold=h_thr + e_extra,
+        h_threshold=h_thr,
+        sub_iteration_direction=sub_iter,
+    )
+    engine = DistributedBFS(part, config=config)
+    graph = build_csr(*symmetrize_edges(src, dst), n)
+    root = seed % n
+    res = engine.run(root)
+    validate_bfs_result(graph, root, res.parent)
+    ref_levels = bfs_levels_from_parents(graph, root, serial_bfs(graph, root))
+    got_levels = bfs_levels_from_parents(graph, root, res.parent)
+    assert np.array_equal(ref_levels, got_levels)

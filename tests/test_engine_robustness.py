@@ -1,0 +1,195 @@
+"""Robustness tests: engine reuse, determinism, degenerate inputs,
+work-scale invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BFSConfig, DistributedBFS, partition_graph
+from repro.graph500.rmat import generate_edges, rmat_edges, scramble_vertices
+from repro.graph500.reference import bfs_levels_from_parents, serial_bfs
+from repro.graph500.validate import validate_bfs_result
+from repro.graphs.csr import build_csr, symmetrize_edges
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+
+def build_engine(scale=10, rows=2, cols=2, seed=1, e_thr=128, h_thr=16, machine=None):
+    src, dst = generate_edges(scale, seed=seed)
+    n = 1 << scale
+    if machine is None:
+        machine = MachineSpec(num_nodes=rows * cols, nodes_per_supernode=cols)
+    mesh = ProcessMesh(rows, cols, machine=machine)
+    part = partition_graph(src, dst, n, mesh, e_threshold=e_thr, h_threshold=h_thr)
+    engine = DistributedBFS(
+        part, machine=machine, config=BFSConfig(e_threshold=e_thr, h_threshold=h_thr)
+    )
+    graph = build_csr(*symmetrize_edges(src, dst), n)
+    return engine, graph
+
+
+class TestEngineReuse:
+    def test_repeated_runs_identical(self):
+        engine, graph = build_engine()
+        root = int(np.argmax(graph.degrees))
+        a = engine.run(root)
+        b = engine.run(root)
+        assert np.array_equal(a.parent, b.parent)
+        assert a.total_seconds == pytest.approx(b.total_seconds)
+
+    def test_no_state_leak_between_roots(self):
+        engine, graph = build_engine()
+        roots = np.flatnonzero(graph.degrees > 0)[:3]
+        baselines = {}
+        for r in roots:
+            baselines[int(r)] = engine.run(int(r)).parent.copy()
+        # interleave in a different order: results must not change
+        for r in reversed(roots):
+            again = engine.run(int(r)).parent
+            assert np.array_equal(again, baselines[int(r)])
+
+    def test_partition_reusable_across_engines(self):
+        engine, graph = build_engine()
+        other = DistributedBFS(
+            engine.part,
+            machine=engine.machine,
+            config=BFSConfig(e_threshold=128, h_threshold=16, segmenting=False),
+        )
+        root = int(np.argmax(graph.degrees))
+        la = bfs_levels_from_parents(graph, root, engine.run(root).parent)
+        lb = bfs_levels_from_parents(graph, root, other.run(root).parent)
+        assert np.array_equal(la, lb)
+
+
+class TestWorkScaleInvariance:
+    def test_functional_output_independent_of_work_scale(self):
+        m1 = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+        m2 = MachineSpec(num_nodes=4, nodes_per_supernode=2, work_scale=1e5)
+        e1, graph = build_engine(machine=m1)
+        e2, _ = build_engine(machine=m2)
+        root = int(np.argmax(graph.degrees))
+        r1, r2 = e1.run(root), e2.run(root)
+        assert np.array_equal(r1.parent, r2.parent)
+        # identical traversal trace
+        assert [x.frontier_size for x in r1.iterations] == [
+            x.frontier_size for x in r2.iterations
+        ]
+
+    def test_work_scale_shrinks_fixed_overheads(self):
+        m1 = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+        m2 = MachineSpec(num_nodes=4, nodes_per_supernode=2, work_scale=1e6)
+        e1, graph = build_engine(machine=m1)
+        e2, _ = build_engine(machine=m2)
+        root = int(np.argmax(graph.degrees))
+        assert e2.run(root).total_seconds < e1.run(root).total_seconds
+
+    def test_invalid_work_scale(self):
+        with pytest.raises(ValueError, match="work_scale"):
+            MachineSpec(work_scale=0.5)
+
+    def test_scaled_for(self):
+        m = MachineSpec(num_nodes=64).scaled_for(1e4)
+        assert m.work_scale > 1e4
+        with pytest.raises(ValueError):
+            MachineSpec().scaled_for(0)
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        src = np.array([], dtype=np.int64)
+        dst = np.array([], dtype=np.int64)
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(src, dst, 16, mesh, e_threshold=4, h_threshold=2)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=4, h_threshold=2))
+        res = engine.run(0)
+        assert res.num_visited == 1
+        assert res.num_iterations <= 1
+
+    def test_single_edge(self):
+        src = np.array([0], dtype=np.int64)
+        dst = np.array([1], dtype=np.int64)
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(src, dst, 8, mesh, e_threshold=4, h_threshold=2)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=4, h_threshold=2))
+        res = engine.run(0)
+        assert res.parent[1] == 0
+        assert res.num_visited == 2
+
+    def test_self_loops_only(self):
+        src = np.array([3, 3, 3], dtype=np.int64)
+        dst = np.array([3, 3, 3], dtype=np.int64)
+        mesh = ProcessMesh(1, 2)
+        part = partition_graph(src, dst, 8, mesh, e_threshold=4, h_threshold=2)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=4, h_threshold=2))
+        res = engine.run(3)
+        assert res.num_visited == 1
+
+    def test_all_light_graph(self):
+        """Thresholds above every degree: pure-L (1D-like) operation."""
+        src, dst = generate_edges(9, seed=1)
+        n = 1 << 9
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(
+            src, dst, n, mesh, e_threshold=10**6, h_threshold=10**6
+        )
+        assert part.num_eh == 0
+        engine = DistributedBFS(
+            part, config=BFSConfig(e_threshold=10**6, h_threshold=10**6)
+        )
+        graph = build_csr(*symmetrize_edges(src, dst), n)
+        root = int(np.argmax(graph.degrees))
+        res = engine.run(root)
+        validate_bfs_result(graph, root, res.parent)
+
+    def test_mesh_bigger_than_vertices(self):
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([1, 2], dtype=np.int64)
+        mesh = ProcessMesh(3, 3)
+        part = partition_graph(src, dst, 3, mesh, e_threshold=4, h_threshold=2)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=4, h_threshold=2))
+        res = engine.run(0)
+        assert res.num_visited == 3
+
+    def test_complete_graph(self):
+        n = 12
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        src = np.array([p[0] for p in pairs], dtype=np.int64)
+        dst = np.array([p[1] for p in pairs], dtype=np.int64)
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(src, dst, n, mesh, e_threshold=16, h_threshold=8)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=16, h_threshold=8))
+        res = engine.run(5)
+        graph = build_csr(*symmetrize_edges(src, dst), n)
+        level = validate_bfs_result(graph, 5, res.parent)
+        assert np.all(level[np.arange(n) != 5] == 1)
+
+
+@given(
+    seed=st.integers(0, 500),
+    a=st.floats(0.3, 0.7),
+    b=st.floats(0.05, 0.25),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_engine_correct_across_rmat_families(seed, a, b):
+    """The engine stays exact for any R-MAT skew family, not just the
+    Graph500 parameters."""
+    c = b
+    if a + 2 * b >= 0.999:
+        return
+    scale = 8
+    n = 1 << scale
+    rng = np.random.default_rng(seed)
+    src, dst = rmat_edges(scale, 8 * n, a=a, b=b, c=c, rng=rng)
+    src, dst = scramble_vertices(src, dst, n, rng=rng)
+    mesh = ProcessMesh(2, 2)
+    part = partition_graph(src, dst, n, mesh, e_threshold=64, h_threshold=8)
+    engine = DistributedBFS(part, config=BFSConfig(e_threshold=64, h_threshold=8))
+    graph = build_csr(*symmetrize_edges(src, dst), n)
+    root = int(np.argmax(graph.degrees))
+    res = engine.run(root)
+    validate_bfs_result(graph, root, res.parent)
+    assert np.array_equal(
+        bfs_levels_from_parents(graph, root, res.parent),
+        bfs_levels_from_parents(graph, root, serial_bfs(graph, root)),
+    )

@@ -1,0 +1,131 @@
+"""Tests for the auxiliary graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi_edges,
+    power_law_edges,
+    ring_lattice_edges,
+    star_forest_edges,
+)
+from repro.graphs.stats import degrees_from_edges
+
+
+class TestErdosRenyi:
+    def test_shape_and_range(self):
+        src, dst = erdos_renyi_edges(100, 500, seed=1)
+        assert src.size == dst.size == 500
+        assert src.max() < 100 and src.min() >= 0
+
+    def test_deterministic(self):
+        a = erdos_renyi_edges(50, 100, seed=7)
+        b = erdos_renyi_edges(50, 100, seed=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_homogeneous_degrees(self):
+        src, dst = erdos_renyi_edges(1000, 16_000, seed=1)
+        deg = degrees_from_edges(src, dst, 1000)
+        assert deg.max() < 3 * deg.mean()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_edges(0, 5)
+
+
+class TestPowerLaw:
+    def test_heavy_tail(self):
+        src, dst = power_law_edges(5000, 80_000, exponent=2.0, seed=1)
+        deg = degrees_from_edges(src, dst, 5000)
+        assert deg.max() > 30 * max(deg.mean(), 1)
+
+    def test_exponent_validated(self):
+        with pytest.raises(ValueError):
+            power_law_edges(100, 100, exponent=0.5)
+
+    def test_permutation_decorrelates_ids(self):
+        """Vertex 0 is not automatically the hub."""
+        hubs = set()
+        for seed in range(5):
+            src, dst = power_law_edges(1000, 20_000, seed=seed)
+            deg = degrees_from_edges(src, dst, 1000)
+            hubs.add(int(np.argmax(deg)))
+        assert len(hubs) > 1
+
+
+class TestStarForest:
+    def test_every_edge_touches_a_hub(self):
+        src, dst = star_forest_edges(100, 3, seed=1)
+        assert np.all(src < 3)
+        assert np.all(dst >= 3)
+        assert src.size == 97
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            star_forest_edges(10, 10)
+
+
+class TestRingLattice:
+    def test_degrees_uniform(self):
+        src, dst = ring_lattice_edges(64, neighbors=2)
+        deg = degrees_from_edges(src, dst, 64)
+        assert np.all(deg == 4)
+
+    def test_high_diameter_bfs(self):
+        """BFS on the ring needs ~n/2 iterations — the many-iteration
+        regime the direction heuristics must survive."""
+        from repro.core import BFSConfig, DistributedBFS, partition_graph
+        from repro.graph500.reference import bfs_levels_from_parents, serial_bfs
+        from repro.graphs.csr import build_csr, symmetrize_edges
+        from repro.runtime.mesh import ProcessMesh
+
+        n = 64
+        src, dst = ring_lattice_edges(n)
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(src, dst, n, mesh, e_threshold=8, h_threshold=4)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=8, h_threshold=4))
+        res = engine.run(0)
+        # frontiers exist for depths 0..n/2 (the last one discovers
+        # nothing new): n/2 + 1 iterations.
+        assert res.num_iterations == n // 2 + 1
+        g = build_csr(*symmetrize_edges(src, dst), n)
+        assert np.array_equal(
+            bfs_levels_from_parents(g, 0, res.parent),
+            bfs_levels_from_parents(g, 0, serial_bfs(g, 0)),
+        )
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ring_lattice_edges(2)
+        with pytest.raises(ValueError):
+            ring_lattice_edges(10, neighbors=5)
+
+
+class TestEnginesAcrossRegimes:
+    """The 1.5D engine stays correct on every degree regime (§8 claim)."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: erdos_renyi_edges(256, 2000, seed=1),
+            lambda: power_law_edges(256, 4000, seed=1),
+            lambda: star_forest_edges(256, 4, seed=1),
+            lambda: ring_lattice_edges(256, neighbors=2),
+        ],
+        ids=["erdos-renyi", "power-law", "star-forest", "ring"],
+    )
+    def test_bfs_valid(self, maker):
+        from repro.core import BFSConfig, DistributedBFS, partition_graph
+        from repro.graph500.validate import validate_bfs_result
+        from repro.graphs.csr import build_csr, symmetrize_edges
+        from repro.runtime.mesh import ProcessMesh
+
+        src, dst = maker()
+        n = 256
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(src, dst, n, mesh, e_threshold=64, h_threshold=8)
+        engine = DistributedBFS(part, config=BFSConfig(e_threshold=64, h_threshold=8))
+        g = build_csr(*symmetrize_edges(src, dst), n)
+        root = int(np.argmax(g.degrees))
+        res = engine.run(root)
+        validate_bfs_result(g, root, res.parent)

@@ -1,0 +1,97 @@
+"""Tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.io import (
+    load_edges_npz,
+    load_edges_text,
+    save_edges_npz,
+    save_edges_text,
+)
+
+from helpers import random_edge_list
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        src, dst = random_edge_list(50, 200, seed=1)
+        p = save_edges_npz(tmp_path / "g.npz", src, dst, 50, metadata={"scale": 6})
+        s, d, n, meta = load_edges_npz(p)
+        assert np.array_equal(s, src) and np.array_equal(d, dst)
+        assert n == 50
+        assert meta == {"scale": "6"}
+
+    def test_no_metadata(self, tmp_path):
+        src, dst = random_edge_list(10, 20)
+        p = save_edges_npz(tmp_path / "g.npz", src, dst, 10)
+        _, _, _, meta = load_edges_npz(p)
+        assert meta == {}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        src, dst = random_edge_list(10, 5)
+        p = save_edges_npz(tmp_path / "a" / "b" / "g.npz", src, dst, 10)
+        assert p.exists()
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mismatch"):
+            save_edges_npz(tmp_path / "g.npz", np.array([1]), np.array([1, 2]), 5)
+
+    def test_out_of_range_detected_on_load(self, tmp_path):
+        p = save_edges_npz(tmp_path / "g.npz", np.array([7]), np.array([1]), 4)
+        with pytest.raises(ValueError, match="out of range"):
+            load_edges_npz(p)
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        src, dst = random_edge_list(30, 100, seed=2)
+        p = save_edges_text(tmp_path / "g.txt", src, dst, comment="test graph")
+        s, d, n = load_edges_text(p)
+        assert np.array_equal(s, src) and np.array_equal(d, dst)
+        assert n == max(src.max(), dst.max()) + 1
+
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# a SNAP-style header\n# another\n0 1\n1 2\n")
+        s, d, n = load_edges_text(p)
+        assert s.tolist() == [0, 1]
+        assert d.tolist() == [1, 2]
+        assert n == 3
+
+    def test_explicit_vertex_count(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        _, _, n = load_edges_text(p, num_vertices=10)
+        assert n == 10
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nothing\n")
+        s, d, n = load_edges_text(p)
+        assert s.size == 0 and n == 0
+
+    def test_single_column_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n1\n")
+        with pytest.raises(ValueError, match="two columns"):
+            load_edges_text(p)
+
+    def test_pipeline_integration(self, tmp_path):
+        """A loaded text graph flows through partition + BFS end to end."""
+        from repro.core import BFSConfig, DistributedBFS, partition_graph
+        from repro.graph500.validate import validate_bfs_result
+        from repro.graphs.csr import build_csr, symmetrize_edges
+        from repro.runtime.mesh import ProcessMesh
+
+        src, dst = random_edge_list(64, 400, seed=3)
+        p = save_edges_text(tmp_path / "g.txt", src, dst)
+        s, d, n = load_edges_text(p, num_vertices=64)
+        mesh = ProcessMesh(2, 2)
+        part = partition_graph(s, d, n, mesh, e_threshold=32, h_threshold=8)
+        engine = DistributedBFS(
+            part, config=BFSConfig(e_threshold=32, h_threshold=8)
+        )
+        res = engine.run(0)
+        g = build_csr(*symmetrize_edges(s, d), n)
+        validate_bfs_result(g, 0, res.parent)

@@ -1,0 +1,87 @@
+"""Tests for the LDM offset mapping (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.ldm import LDMLayout, SegmentBitVectorMap
+
+
+class TestLDMLayout:
+    def test_line_round_robin(self):
+        layout = LDMLayout(line_bytes=1024, num_cpes=64)
+        # Byte 0 -> line 0 -> CPE 0; byte 1024 -> line 1 -> CPE 1.
+        cpe, local = layout.locate_byte(np.array([0, 1024, 1024 * 64]))
+        assert cpe.tolist() == [0, 1, 0]
+        assert local.tolist() == [0, 0, 1024]
+
+    def test_offset_within_line_preserved(self):
+        layout = LDMLayout()
+        cpe, local = layout.locate_byte(1024 * 5 + 37)
+        assert int(cpe) == 5
+        assert int(local) == 37
+
+    def test_bit_mapping(self):
+        layout = LDMLayout()
+        cpe, local, bit = layout.locate_bit(8 * (1024 * 64) + 3)
+        assert int(cpe) == 0
+        assert int(local) == 1024
+        assert int(bit) == 3
+
+    def test_roundtrip_bijection(self):
+        layout = LDMLayout(line_bytes=256, num_cpes=8)
+        offsets = np.arange(0, 256 * 8 * 5)
+        cpe, local = layout.locate_byte(offsets)
+        back = layout.global_byte(cpe, local)
+        assert np.array_equal(back, offsets)
+
+    def test_capacity(self):
+        layout = LDMLayout(num_cpes=64, ldm_budget_bytes=96 * 1024)
+        assert layout.capacity_bytes == 64 * 96 * 1024
+        # Paper: a ~2 MB per-CG bit-vector segment must fit.
+        assert layout.fits(8 * 2 * 1024 * 1024)
+
+    def test_power_of_two_lines_required(self):
+        with pytest.raises(ValueError):
+            LDMLayout(line_bytes=1000)
+
+    @given(st.integers(0, 10**7))
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, offset):
+        layout = LDMLayout()
+        cpe, local = layout.locate_byte(offset)
+        assert 0 <= int(cpe) < 64
+        assert int(layout.global_byte(cpe, local)) == offset
+
+
+class TestSegmentBitVectorMap:
+    def test_rejects_oversized_segment(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            SegmentBitVectorMap(0, 10**9)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="inverted"):
+            SegmentBitVectorMap(10, 5)
+
+    def test_serving_cpe_range(self):
+        seg = SegmentBitVectorMap(1000, 1000 + 8 * 1024 * 64 * 2)
+        cpes = seg.serving_cpe(np.arange(1000, 1000 + 100_000, 997))
+        assert cpes.min() >= 0 and cpes.max() < 64
+
+    def test_serving_cpe_out_of_range(self):
+        seg = SegmentBitVectorMap(100, 200)
+        with pytest.raises(ValueError):
+            seg.serving_cpe(np.array([99]))
+
+    def test_rma_fraction_near_63_over_64(self):
+        seg = SegmentBitVectorMap(0, 8 * 1024 * 64 * 4)
+        rng = np.random.default_rng(0)
+        vertices = rng.integers(0, seg.num_vertices, size=20_000)
+        readers = rng.integers(0, 64, size=20_000)
+        frac = seg.rma_fraction(vertices, readers)
+        assert frac == pytest.approx(63 / 64, abs=0.01)
+
+    def test_rma_fraction_empty(self):
+        seg = SegmentBitVectorMap(0, 100)
+        assert seg.rma_fraction(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the traffic ledger."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import CollectiveKind, CostModel
+from repro.machine.network import MachineSpec
+from repro.runtime.ledger import TrafficLedger
+
+
+@pytest.fixture
+def ledger():
+    return TrafficLedger(CostModel(MachineSpec(num_nodes=64)))
+
+
+class TestChargeCollective:
+    def test_returns_positive_seconds(self, ledger):
+        t = ledger.charge_collective("EH2EH", CollectiveKind.ALLGATHER, 8, 1e6, 0)
+        assert t > 0
+        assert ledger.comm_seconds == pytest.approx(t)
+
+    def test_events_recorded(self, ledger):
+        ledger.charge_collective("L2L", CollectiveKind.ALLTOALLV, 64, 1e3, 1e3)
+        ledger.charge_collective("L2L", CollectiveKind.ALLTOALLV, 64, 1e3, 1e3)
+        assert len(ledger.comm_events) == 2
+        assert ledger.comm_events[0].phase == "L2L"
+
+    def test_total_bytes_default(self, ledger):
+        ledger.charge_collective("x", CollectiveKind.P2P, 2, 100.0, 50.0)
+        assert ledger.total_bytes == pytest.approx(150.0)
+
+    def test_total_bytes_override(self, ledger):
+        ledger.charge_collective("x", CollectiveKind.P2P, 2, 100.0, 0.0, total_bytes=999.0)
+        assert ledger.total_bytes == pytest.approx(999.0)
+
+
+class TestChargeCompute:
+    def test_records_max_and_total(self, ledger):
+        ledger.charge_compute("EH2EH", "pull", [10, 30, 20], 0.5)
+        ev = ledger.compute_events[0]
+        assert ev.max_items == 30
+        assert ev.total_items == 60
+        assert ev.seconds == 0.5
+
+    def test_imbalance_zero_when_balanced(self, ledger):
+        ledger.charge_compute("x", "k", [5, 5, 5], 1.0)
+        assert ledger.imbalance_seconds == pytest.approx(0.0)
+
+    def test_imbalance_positive_when_skewed(self, ledger):
+        ledger.charge_compute("x", "k", [0, 0, 30], 1.0)
+        assert ledger.compute_events[0].imbalance_seconds == pytest.approx(2 / 3)
+
+    def test_empty_items(self, ledger):
+        ledger.charge_compute("x", "k", [], 0.0)
+        assert ledger.compute_events[0].max_items == 0
+
+
+class TestQueries:
+    def test_seconds_by_phase_combines_comm_and_compute(self, ledger):
+        ledger.charge_collective("A", CollectiveKind.BARRIER, 4)
+        ledger.charge_compute("A", "k", [1], 2.0)
+        ledger.charge_compute("B", "k", [1], 3.0)
+        by_phase = ledger.seconds_by_phase()
+        assert by_phase["A"] > 2.0
+        assert by_phase["B"] == pytest.approx(3.0)
+
+    def test_comm_seconds_by_kind(self, ledger):
+        ledger.charge_collective("A", CollectiveKind.ALLGATHER, 8, 1e6, 0)
+        ledger.charge_collective("B", CollectiveKind.ALLGATHER, 8, 1e6, 0)
+        ledger.charge_collective("A", CollectiveKind.ALLTOALLV, 8, 1e6, 0)
+        by_kind = ledger.comm_seconds_by_kind()
+        assert set(by_kind) == {CollectiveKind.ALLGATHER, CollectiveKind.ALLTOALLV}
+
+    def test_total_seconds(self, ledger):
+        ledger.charge_collective("A", CollectiveKind.BARRIER, 4)
+        ledger.charge_compute("A", "k", [1], 2.0)
+        assert ledger.total_seconds == pytest.approx(
+            ledger.comm_seconds + ledger.compute_seconds
+        )
+
+    def test_merge(self, ledger):
+        other = TrafficLedger(ledger.cost_model)
+        other.charge_compute("A", "k", [1], 1.0)
+        ledger.merge(other)
+        assert len(ledger.compute_events) == 1
+
+    def test_reset(self, ledger):
+        ledger.charge_compute("A", "k", [1], 1.0)
+        ledger.reset()
+        assert ledger.total_seconds == 0.0
+
+    def test_bytes_by_kind(self, ledger):
+        ledger.charge_collective("A", CollectiveKind.ALLTOALLV, 4, 10.0, 5.0)
+        assert ledger.bytes_by_kind()[CollectiveKind.ALLTOALLV] == pytest.approx(15.0)

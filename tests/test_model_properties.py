@@ -1,0 +1,134 @@
+"""Property tests for the cost model and kernel simulators.
+
+Monotonicity and conservation laws that must hold for *any* parameters —
+the cheap sanity net under every modeled number in the harness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
+from repro.machine.network import MachineSpec
+from repro.runtime.ledger import TrafficLedger
+from repro.sort.ocs import OCSConfig, simulate_ocs_rma
+
+
+class TestCostModelProperties:
+    @given(
+        participants=st.integers(1, 4096),
+        bytes_intra=st.floats(0, 1e12),
+        bytes_inter=st.floats(0, 1e12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_collective_time_nonnegative_and_monotone(
+        self, participants, bytes_intra, bytes_inter
+    ):
+        model = CostModel(MachineSpec(num_nodes=4096))
+        for kind in CollectiveKind:
+            t = model.collective_time(kind, participants, bytes_intra, bytes_inter)
+            assert t > 0
+            if kind is not CollectiveKind.BARRIER:
+                t2 = model.collective_time(
+                    kind, participants, bytes_intra * 2 + 1, bytes_inter
+                )
+                assert t2 >= t
+
+    @given(st.floats(1.0, 1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_work_scale_never_increases_time(self, k):
+        base = CostModel(MachineSpec(num_nodes=64))
+        scaled = CostModel(MachineSpec(num_nodes=64, work_scale=k))
+        t0 = base.collective_time(CollectiveKind.ALLTOALLV, 64, 1e6, 1e6)
+        t1 = scaled.collective_time(CollectiveKind.ALLTOALLV, 64, 1e6, 1e6)
+        assert t1 <= t0 + 1e-15
+
+    @given(st.integers(0, 10**9), st.floats(1.0, 1e7))
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_time_monotone_in_items(self, items, ws):
+        rates = NodeKernelRates()
+        t1 = rates.kernel_time(items, 1e9, ws)
+        t2 = rates.kernel_time(items + 1000, 1e9, ws)
+        assert t2 >= t1 >= 0
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_message_rate_monotone_in_cgs(self, cgs):
+        rates = NodeKernelRates()
+        if cgs < 6:
+            assert rates.message_rate(cgs) <= rates.message_rate(cgs + 1)
+
+    @given(st.integers(1, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_ldcache_between_gld_and_ldm(self, working_set):
+        rates = NodeKernelRates()
+        ldc = rates.pull_rate_ldcache(working_set)
+        assert rates.pull_rate_unsegmented() * 0.99 <= ldc
+
+
+class TestOCSProperties:
+    @given(
+        n=st.integers(0, 4000),
+        num_buckets=st.integers(1, 64),
+        cgs=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bucketing_is_permutation_with_correct_keys(
+        self, n, num_buckets, cgs, seed
+    ):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**62, size=n)
+        buckets = rng.integers(0, num_buckets, size=n)
+        res = simulate_ocs_rma(
+            values, buckets, num_buckets, config=OCSConfig(num_cgs=cgs)
+        )
+        assert sorted(res.values.tolist()) == sorted(values.tolist())
+        assert res.offsets[-1] == n
+        assert np.all(np.diff(res.offsets) >= 0)
+        assert res.modeled_seconds > 0 or n == 0
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=5, deadline=None)
+    def test_throughput_improves_with_cgs(self, cgs):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**62, size=1 << 16)
+        buckets = values & 0x3F
+        a = simulate_ocs_rma(values, buckets, 64, config=OCSConfig(num_cgs=cgs))
+        b = simulate_ocs_rma(values, buckets, 64, config=OCSConfig(num_cgs=cgs + 1))
+        assert b.throughput_bytes_per_s > a.throughput_bytes_per_s * 0.95
+
+
+class TestLedgerValidation:
+    def test_negative_bytes_rejected(self):
+        ledger = TrafficLedger(CostModel(MachineSpec()))
+        with pytest.raises(ValueError, match="nonnegative"):
+            ledger.charge_collective("x", CollectiveKind.P2P, 2, -1.0, 0.0)
+
+    def test_negative_total_rejected(self):
+        ledger = TrafficLedger(CostModel(MachineSpec()))
+        with pytest.raises(ValueError, match="nonnegative"):
+            ledger.charge_collective(
+                "x", CollectiveKind.P2P, 2, 1.0, 0.0, total_bytes=-5.0
+            )
+
+    def test_negative_seconds_rejected(self):
+        ledger = TrafficLedger(CostModel(MachineSpec()))
+        with pytest.raises(ValueError, match="nonnegative"):
+            ledger.charge_compute("x", "k", [1], -0.1)
+
+    def test_negative_items_rejected(self):
+        ledger = TrafficLedger(CostModel(MachineSpec()))
+        with pytest.raises(ValueError, match="nonnegative"):
+            ledger.charge_compute("x", "k", [-1], 0.1)
+
+
+class TestEntryPoint:
+    def test_module_main_importable(self):
+        import repro.__main__  # noqa: F401
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__

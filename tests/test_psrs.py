@@ -1,0 +1,103 @@
+"""Tests for Parallel Sorting by Regular Sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sort.psrs import psrs_sort
+
+
+def check_global_sort(chunks, parts):
+    """Concatenated parts are globally sorted and a permutation of input."""
+    flat_in = np.sort(np.concatenate([np.asarray(c) for c in chunks])) if chunks else np.array([])
+    flat_out = np.concatenate(parts) if parts else np.array([])
+    assert np.array_equal(np.sort(flat_out), flat_in)
+    assert np.array_equal(flat_out, np.sort(flat_out)), "concatenation must be globally sorted"
+
+
+class TestPSRS:
+    def test_two_ranks(self):
+        chunks = [np.array([5, 1, 9]), np.array([2, 8, 3])]
+        parts = psrs_sort(chunks)
+        check_global_sort(chunks, parts)
+        assert len(parts) == 2
+
+    def test_single_rank(self):
+        parts = psrs_sort([np.array([3, 1, 2])])
+        assert parts[0].tolist() == [1, 2, 3]
+
+    def test_empty_input(self):
+        assert psrs_sort([]) == []
+
+    def test_empty_ranks(self):
+        chunks = [np.array([], dtype=np.int64), np.array([4, 1]), np.array([], dtype=np.int64)]
+        parts = psrs_sort(chunks)
+        check_global_sort(chunks, parts)
+
+    def test_all_empty(self):
+        chunks = [np.array([], dtype=np.int64)] * 3
+        parts = psrs_sort(chunks)
+        assert all(p.size == 0 for p in parts)
+
+    def test_uniform_random(self):
+        rng = np.random.default_rng(0)
+        chunks = [rng.integers(0, 10**6, size=rng.integers(0, 3000)) for _ in range(8)]
+        parts = psrs_sort(chunks)
+        check_global_sort(chunks, parts)
+
+    def test_skewed_duplicates(self):
+        rng = np.random.default_rng(1)
+        chunks = [rng.integers(0, 4, size=1000) for _ in range(6)]
+        parts = psrs_sort(chunks)
+        check_global_sort(chunks, parts)
+
+    def test_balance_on_uniform_data(self):
+        """Regular sampling keeps partitions within ~2x of average."""
+        rng = np.random.default_rng(2)
+        p = 8
+        chunks = [rng.integers(0, 10**9, size=5000) for _ in range(p)]
+        parts = psrs_sort(chunks)
+        sizes = np.array([x.size for x in parts])
+        assert sizes.max() <= 2 * sizes.mean()
+
+    def test_exchange_callback_accounts_all_bytes(self):
+        rng = np.random.default_rng(3)
+        chunks = [rng.integers(0, 100, size=500, dtype=np.int64) for _ in range(4)]
+        seen = {}
+
+        def on_exchange(matrix):
+            seen["matrix"] = matrix.copy()
+
+        psrs_sort(chunks, on_exchange=on_exchange)
+        matrix = seen["matrix"]
+        assert matrix.shape == (4, 4)
+        assert matrix.sum() == sum(c.nbytes for c in chunks)
+
+    def test_custom_local_sort_used(self):
+        calls = []
+
+        def spy_sort(arr):
+            calls.append(arr.size)
+            return np.sort(arr)
+
+        psrs_sort([np.array([2, 1]), np.array([4, 3])], local_sort=spy_sort)
+        assert len(calls) == 2
+
+    def test_rejects_2d_chunks(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            psrs_sort([np.zeros((2, 2))])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1000), max_size=80),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_global_sort(self, data):
+        chunks = [np.array(c, dtype=np.int64) for c in data]
+        parts = psrs_sort(chunks)
+        check_global_sort(chunks, parts)
+        assert len(parts) == len(chunks)

@@ -1,0 +1,70 @@
+"""Tests for the radix sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sort.radix import radix_argsort, radix_sort
+
+
+class TestRadixSort:
+    def test_simple(self):
+        assert radix_sort(np.array([3, 1, 2])).tolist() == [1, 2, 3]
+
+    def test_empty(self):
+        assert radix_sort(np.array([], dtype=np.int64)).size == 0
+        assert radix_argsort(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert radix_sort(np.array([42])).tolist() == [42]
+
+    def test_duplicates(self):
+        arr = np.array([5, 3, 5, 1, 3, 5])
+        assert radix_sort(arr).tolist() == sorted(arr.tolist())
+
+    def test_large_keys_multi_pass(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 2**40, size=5000)
+        assert np.array_equal(radix_sort(arr), np.sort(arr))
+
+    def test_matches_numpy_many_seeds(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            arr = rng.integers(0, 10_000, size=2000)
+            assert np.array_equal(radix_sort(arr), np.sort(arr))
+
+    def test_stability(self):
+        keys = np.array([1, 0, 1, 0, 1])
+        order = radix_argsort(keys)
+        # zeros in original order, then ones in original order
+        assert order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_argsort_matches_numpy_stable(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 16, size=500)
+        assert np.array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            radix_sort(np.array([1, -1]))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="integer"):
+            radix_argsort(np.array([1.5, 2.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            radix_argsort(np.zeros((2, 2), dtype=np.int64))
+
+    def test_max_key_bound_respected(self):
+        arr = np.array([3, 1, 200])
+        assert np.array_equal(radix_sort(arr, max_key=255), np.sort(arr))
+        with pytest.raises(ValueError, match="max_key"):
+            radix_sort(arr, max_key=100)
+
+    @given(st.lists(st.integers(0, 2**50), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_numpy(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(radix_sort(arr), np.sort(arr))

@@ -1,0 +1,168 @@
+"""Tests for the reference BFS implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph500.reference import (
+    DirectionTrace,
+    bfs_levels_from_parents,
+    direction_optimizing_bfs,
+    serial_bfs,
+)
+from repro.graph500.rmat import generate_edges
+from repro.graphs.csr import build_csr, symmetrize_edges
+
+from helpers import path_graph, random_graph, star_graph
+
+
+def nx_levels(graph, root):
+    """Independent level computation via networkx."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.arcs()
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    lengths = nx.single_source_shortest_path_length(g, root)
+    out = np.full(graph.num_vertices, -1, dtype=np.int64)
+    for v, depth in lengths.items():
+        out[v] = depth
+    return out
+
+
+class TestSerialBFS:
+    def test_path(self):
+        g = path_graph(5)
+        parent = serial_bfs(g, 0)
+        assert parent.tolist() == [0, 0, 1, 2, 3]
+
+    def test_star_from_hub(self):
+        g = star_graph(6)
+        parent = serial_bfs(g, 0)
+        assert parent[0] == 0
+        assert np.all(parent[1:] == 0)
+
+    def test_star_from_leaf(self):
+        g = star_graph(6)
+        parent = serial_bfs(g, 3)
+        assert parent[3] == 3
+        assert parent[0] == 3
+        level = bfs_levels_from_parents(g, 3, parent)
+        assert level[0] == 1
+        assert level[1] == 2
+
+    def test_disconnected(self):
+        src, dst = symmetrize_edges(np.array([0]), np.array([1]))
+        g = build_csr(src, dst, 4)
+        parent = serial_bfs(g, 0)
+        assert parent[2] == -1 and parent[3] == -1
+
+    def test_isolated_root(self):
+        g = build_csr(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 3)
+        parent = serial_bfs(g, 1)
+        assert parent.tolist() == [-1, 1, -1]
+
+    def test_root_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            serial_bfs(g, 3)
+
+    def test_matches_networkx_levels(self):
+        g = random_graph(60, 150, seed=4)
+        parent = serial_bfs(g, 0)
+        level = bfs_levels_from_parents(g, 0, parent)
+        assert np.array_equal(level, nx_levels(g, 0))
+
+
+class TestDirectionOptimizingBFS:
+    def test_levels_match_serial(self):
+        for seed in range(5):
+            g = random_graph(80, 400, seed=seed)
+            p_serial = serial_bfs(g, 0)
+            p_dir = direction_optimizing_bfs(g, 0)
+            la = bfs_levels_from_parents(g, 0, p_serial)
+            lb = bfs_levels_from_parents(g, 0, p_dir)
+            assert np.array_equal(la, lb)
+
+    def test_switches_direction_on_dense_graph(self):
+        src, dst = generate_edges(10, seed=1)
+        a_src, a_dst = symmetrize_edges(src, dst)
+        g = build_csr(a_src, a_dst, 1 << 10)
+        root = int(np.flatnonzero(g.degrees > 0)[0])
+        trace = DirectionTrace()
+        direction_optimizing_bfs(g, root, trace=trace)
+        assert "bottom-up" in trace.directions
+        assert trace.directions[0] == "top-down"
+
+    def test_trace_lengths_consistent(self):
+        g = random_graph(50, 200, seed=1)
+        trace = DirectionTrace()
+        direction_optimizing_bfs(g, 0, trace=trace)
+        assert trace.num_iterations == len(trace.frontier_sizes)
+        assert trace.num_iterations == len(trace.edges_examined)
+
+    def test_bottom_up_early_exit_examines_fewer_edges(self):
+        # On a dense R-MAT graph, total examined edges must be well under
+        # the full arc count times iterations thanks to early exit.
+        src, dst = generate_edges(9, seed=2)
+        a_src, a_dst = symmetrize_edges(src, dst)
+        g = build_csr(a_src, a_dst, 1 << 9)
+        root = int(np.argmax(g.degrees))
+        trace = DirectionTrace()
+        direction_optimizing_bfs(g, root, trace=trace)
+        bu_iters = [
+            e
+            for d, e in zip(trace.directions, trace.edges_examined)
+            if d == "bottom-up"
+        ]
+        assert bu_iters, "expected at least one bottom-up iteration"
+        assert all(e < g.num_arcs for e in bu_iters)
+
+    def test_pure_topdown_when_alpha_tiny(self):
+        # Switch condition is frontier_arcs > unexplored_arcs / alpha, so a
+        # tiny alpha makes the threshold unreachably large: never switch.
+        g = random_graph(60, 300, seed=2)
+        trace = DirectionTrace()
+        direction_optimizing_bfs(g, 0, alpha=1e-18, trace=trace)
+        assert set(trace.directions) == {"top-down"}
+
+
+class TestLevelsFromParents:
+    def test_simple(self):
+        g = path_graph(4)
+        parent = np.array([0, 0, 1, 2])
+        level = bfs_levels_from_parents(g, 0, parent)
+        assert level.tolist() == [0, 1, 2, 3]
+
+    def test_rejects_bad_root(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="root"):
+            bfs_levels_from_parents(g, 0, np.array([1, 0, 1]))
+
+    def test_rejects_cycle(self):
+        g = path_graph(4)
+        parent = np.array([0, 2, 1, 2])  # 1 <-> 2 cycle
+        with pytest.raises(ValueError, match="cycle"):
+            bfs_levels_from_parents(g, 0, parent)
+
+    def test_unreachable_marked(self):
+        g = path_graph(3)
+        parent = np.array([0, 0, -1])
+        level = bfs_levels_from_parents(g, 0, parent)
+        assert level.tolist() == [0, 1, -1]
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+@settings(max_examples=40, deadline=None)
+def test_property_serial_and_directional_levels_agree(seed, n):
+    g = random_graph(n, 3 * n, seed=seed)
+    root = seed % n
+    pa = serial_bfs(g, root)
+    pb = direction_optimizing_bfs(g, root)
+    la = bfs_levels_from_parents(g, root, pa)
+    lb = bfs_levels_from_parents(g, root, pb)
+    assert np.array_equal(la, lb)
+    # visited sets agree with reachability
+    assert np.array_equal(pa >= 0, pb >= 0)

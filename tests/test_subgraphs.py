@@ -1,0 +1,165 @@
+"""Tests for SubgraphComponent push/pull primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subgraphs import SubgraphComponent
+
+
+def make_component(arcs, num_ranks=4, name="test"):
+    src = np.array([a[0] for a in arcs], dtype=np.int64)
+    dst = np.array([a[1] for a in arcs], dtype=np.int64)
+    rank = np.array([a[2] for a in arcs], dtype=np.int64)
+    return SubgraphComponent(name, src, dst, rank, num_ranks)
+
+
+class TestConstruction:
+    def test_empty(self):
+        comp = make_component([])
+        assert comp.num_arcs == 0
+        assert comp.num_groups == 0
+        assert comp.arcs_per_rank.tolist() == [0, 0, 0, 0]
+
+    def test_arcs_roundtrip(self):
+        arcs = [(0, 1, 0), (0, 2, 1), (3, 1, 2), (3, 1, 2)]
+        comp = make_component(arcs)
+        s, d, r = comp.arcs()
+        assert sorted(zip(s.tolist(), d.tolist(), r.tolist())) == sorted(arcs)
+
+    def test_arcs_per_rank(self):
+        comp = make_component([(0, 1, 0), (1, 2, 0), (2, 3, 3)])
+        assert comp.arcs_per_rank.tolist() == [2, 0, 0, 1]
+
+    def test_groups_by_rank_and_dst(self):
+        # same dst on two ranks -> two groups
+        comp = make_component([(0, 5, 0), (1, 5, 1), (2, 5, 1)])
+        assert comp.num_groups == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal shape"):
+            SubgraphComponent(
+                "x", np.array([0]), np.array([1, 2]), np.array([0]), 4
+            )
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError, match="rank out of range"):
+            make_component([(0, 1, 9)])
+
+
+class TestPush:
+    def test_selects_frontier_arcs_only(self):
+        comp = make_component([(0, 1, 0), (0, 2, 1), (5, 3, 2)], num_ranks=4)
+        active = np.zeros(8, dtype=bool)
+        active[0] = True
+        sel = comp.push_select(active)
+        assert sel.num_arcs == 2
+        assert set(sel.dst.tolist()) == {1, 2}
+
+    def test_empty_frontier(self):
+        comp = make_component([(0, 1, 0)])
+        sel = comp.push_select(np.zeros(4, dtype=bool))
+        assert sel.num_arcs == 0
+
+    def test_per_rank_counts(self):
+        comp = make_component([(0, 1, 0), (0, 2, 1), (0, 3, 1)])
+        active = np.zeros(4, dtype=bool)
+        active[0] = True
+        sel = comp.push_select(active)
+        assert sel.per_rank(4).tolist() == [1, 2, 0, 0]
+
+    def test_duplicate_arcs_selected_twice(self):
+        comp = make_component([(0, 1, 0), (0, 1, 0)])
+        active = np.zeros(4, dtype=bool)
+        active[0] = True
+        assert comp.push_select(active).num_arcs == 2
+
+
+class TestPull:
+    def test_basic_hit(self):
+        comp = make_component([(1, 5, 0), (2, 6, 0)], num_ranks=2)
+        candidate = np.ones(8, dtype=bool)
+        active = np.zeros(8, dtype=bool)
+        active[1] = True
+        scan = comp.pull_scan(candidate, active)
+        assert scan.hit_dst.tolist() == [5]
+        assert scan.hit_src.tolist() == [1]
+
+    def test_candidate_filter(self):
+        comp = make_component([(1, 5, 0)], num_ranks=2)
+        candidate = np.zeros(8, dtype=bool)  # 5 not a candidate
+        active = np.ones(8, dtype=bool)
+        scan = comp.pull_scan(candidate, active)
+        assert scan.num_hits == 0
+        assert scan.scanned_arcs == 0
+
+    def test_early_exit_counts(self):
+        # dst 5 has 4 incoming arcs on rank 0; the 2nd source is active.
+        comp = make_component(
+            [(1, 5, 0), (2, 5, 0), (3, 5, 0), (4, 5, 0)], num_ranks=1
+        )
+        candidate = np.ones(8, dtype=bool)
+        active = np.zeros(8, dtype=bool)
+        active[2] = True
+        scan = comp.pull_scan(candidate, active)
+        # arcs are scanned in (dst-group) order: sources sorted 1,2,3,4 -> 2 scanned
+        assert scan.scanned_arcs == 2
+        assert scan.hit_src.tolist() == [2]
+
+    def test_no_hit_scans_whole_group(self):
+        comp = make_component([(1, 5, 0), (2, 5, 0)], num_ranks=1)
+        scan = comp.pull_scan(np.ones(8, bool), np.zeros(8, bool))
+        assert scan.num_hits == 0
+        assert scan.scanned_arcs == 2
+
+    def test_cross_rank_winner_is_lowest_rank(self):
+        comp = make_component([(1, 5, 1), (2, 5, 0)], num_ranks=2)
+        active = np.zeros(8, dtype=bool)
+        active[1] = active[2] = True
+        scan = comp.pull_scan(np.ones(8, bool), active)
+        assert scan.num_hits == 1
+        assert scan.hit_src.tolist() == [2]  # rank 0's hit wins
+        assert scan.hit_rank.tolist() == [0]
+
+    def test_scanned_per_rank(self):
+        comp = make_component(
+            [(1, 5, 0), (2, 5, 0), (1, 6, 1), (2, 6, 1), (3, 6, 1)], num_ranks=2
+        )
+        active = np.zeros(8, dtype=bool)
+        active[2] = True
+        scan = comp.pull_scan(np.ones(8, bool), active)
+        assert scan.scanned_per_rank.tolist() == [2, 2]
+
+    def test_empty_component(self):
+        comp = make_component([])
+        scan = comp.pull_scan(np.ones(4, bool), np.ones(4, bool))
+        assert scan.num_hits == 0
+
+
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(2, 30),
+    m=st.integers(0, 100),
+    ranks=st.integers(1, 4),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_push_pull_equivalence(seed, n, m, ranks):
+    """Push from frontier and pull into unvisited discover the same set."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    rank = rng.integers(0, ranks, size=m)
+    comp = SubgraphComponent("t", src, dst, rank, ranks)
+    active = rng.random(n) < 0.3
+    visited = active.copy()  # frontier is visited
+
+    sel = comp.push_select(active)
+    push_found = set(sel.dst[~visited[sel.dst]].tolist())
+    scan = comp.pull_scan(~visited, active)
+    pull_found = set(scan.hit_dst.tolist())
+    assert push_found == pull_found
+    # pull parents are always active sources with a real arc
+    for d, s in zip(scan.hit_dst.tolist(), scan.hit_src.tolist()):
+        assert active[s]
+        assert any((a == s and b == d) for a, b in zip(src.tolist(), dst.tolist()))

@@ -1,0 +1,62 @@
+"""Tests for the sweep drivers (oversubscription, strong scaling)."""
+
+import pytest
+
+from repro.analysis.sweeps import run_oversubscription_sweep, run_strong_scaling
+
+
+class TestOversubscriptionSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_oversubscription_sweep(
+            scale=11, rows=2, cols=2, factors=(1.0, 8.0)
+        )
+
+    def test_rows_complete(self, rows):
+        methods = {r["method"] for r in rows}
+        assert methods == {"1D", "1D+delegates", "2D", "1.5D (ours)"}
+        assert len(rows) == 8
+
+    def test_seconds_grow_with_oversubscription(self, rows):
+        for method in ("1D", "1.5D (ours)"):
+            t1 = next(
+                r["seconds"] for r in rows
+                if r["method"] == method and r["oversubscription"] == 1.0
+            )
+            t8 = next(
+                r["seconds"] for r in rows
+                if r["method"] == method and r["oversubscription"] == 8.0
+            )
+            assert t8 >= t1
+
+    def test_inter_bytes_factor_independent(self, rows):
+        """The traffic a method sends across supernodes is decided by the
+        algorithm, not by the network's speed."""
+        for method in ("1D", "2D", "1.5D (ours)"):
+            vols = [
+                r["inter_bytes"] for r in rows if r["method"] == method
+            ]
+            assert vols[0] == pytest.approx(vols[1])
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_strong_scaling(scale=12, meshes=((2, 2), (4, 4), (8, 8)))
+
+    def test_speedup_monotone(self, rows):
+        speeds = [r["speedup_vs_smallest"] for r in rows]
+        assert speeds[0] == 1.0
+        assert all(b >= a * 0.9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_efficiency_decays(self, rows):
+        """Fixed work split over more nodes: efficiency can only drop."""
+        effs = [r["efficiency"] for r in rows]
+        assert effs[0] == 1.0
+        assert effs[-1] <= 1.0
+
+    def test_gteps_consistent(self, rows):
+        for r in rows:
+            assert r["gteps"] == pytest.approx(
+                (16 << 12) / r["seconds"] / 1e9, rel=1e-9
+            )

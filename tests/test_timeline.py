@@ -1,0 +1,87 @@
+"""Tests for the per-iteration timeline diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import iteration_component_seconds, render_timeline
+from repro.core import BFSConfig, DistributedBFS, partition_graph
+from repro.graph500.rmat import generate_edges
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+
+@pytest.fixture(scope="module")
+def result():
+    scale = 11
+    src, dst = generate_edges(scale, seed=1)
+    machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+    mesh = ProcessMesh(2, 2, machine=machine)
+    part = partition_graph(src, dst, 1 << scale, mesh, e_threshold=128, h_threshold=16)
+    engine = DistributedBFS(
+        part, machine=machine, config=BFSConfig(e_threshold=128, h_threshold=16)
+    )
+    return engine.run(int(np.argmax(part.degrees)))
+
+
+class TestIterationSeconds:
+    def test_rows_match_iterations(self, result):
+        rows = iteration_component_seconds(result)
+        assert len(rows) == result.num_iterations
+
+    def test_total_conserved(self, result):
+        """Apportioning must conserve the run's total time exactly."""
+        rows = iteration_component_seconds(result)
+        total = sum(sum(r.values()) for r in rows)
+        assert total == pytest.approx(result.total_seconds, rel=1e-9)
+
+    def test_phase_totals_conserved(self, result):
+        rows = iteration_component_seconds(result)
+        by_phase_timeline = {}
+        for row in rows:
+            for k, v in row.items():
+                by_phase_timeline[k] = by_phase_timeline.get(k, 0.0) + v
+        for phase, seconds in result.time_by_phase().items():
+            assert by_phase_timeline.get(phase, 0.0) == pytest.approx(
+                seconds, rel=1e-9
+            )
+
+    def test_no_negative_cells(self, result):
+        for row in iteration_component_seconds(result):
+            assert all(v >= 0 for v in row.values())
+
+    def test_empty_run(self):
+        from repro.core.metrics import BFSRunResult
+        from repro.machine.costmodel import CostModel
+        from repro.runtime.ledger import TrafficLedger
+
+        empty = BFSRunResult(
+            root=0,
+            parent=np.array([0]),
+            iterations=[],
+            ledger=TrafficLedger(CostModel(MachineSpec())),
+            total_seconds=0.0,
+            num_input_edges=0,
+        )
+        assert iteration_component_seconds(empty) == []
+
+
+class TestRender:
+    def test_render_shape(self, result):
+        text = render_timeline(result)
+        lines = text.splitlines()
+        assert len(lines) == result.num_iterations + 2  # header + rule
+        assert "EH2EH" in lines[0]
+        assert "iteration total" in lines[0]
+
+    def test_directions_present(self, result):
+        text = render_timeline(result)
+        assert "push" in text.lower()
+        assert "pull" in text.lower()
+
+    def test_cli_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(["bfs", "--scale", "10", "--mesh", "2x2", "--timeline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "iteration total" in out

@@ -1,0 +1,140 @@
+"""Tests for the Graph500 validator, including failure injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph500.reference import serial_bfs
+from repro.graph500.rmat import generate_edges
+from repro.graph500.validate import ValidationError, validate_bfs_result
+from repro.graphs.csr import build_csr, symmetrize_edges
+
+from helpers import path_graph, random_graph, star_graph
+
+
+def make_valid(g, root):
+    parent = serial_bfs(g, root)
+    return parent
+
+
+class TestAcceptsValid:
+    def test_path(self):
+        g = path_graph(6)
+        level = validate_bfs_result(g, 0, make_valid(g, 0))
+        assert level.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_star(self):
+        g = star_graph(8)
+        validate_bfs_result(g, 0, make_valid(g, 0))
+
+    def test_random_graphs_many_roots(self):
+        for seed in range(4):
+            g = random_graph(50, 180, seed=seed)
+            for root in (0, 7, 23):
+                validate_bfs_result(g, root, make_valid(g, root))
+
+    def test_rmat_graph(self):
+        src, dst = generate_edges(9, seed=1)
+        a_src, a_dst = symmetrize_edges(src, dst)
+        g = build_csr(a_src, a_dst, 1 << 9)
+        root = int(np.flatnonzero(g.degrees > 0)[0])
+        validate_bfs_result(g, root, make_valid(g, root), edge_src=src, edge_dst=dst)
+
+    def test_disconnected_graph(self):
+        src, dst = symmetrize_edges(np.array([0, 2]), np.array([1, 3]))
+        g = build_csr(src, dst, 4)
+        parent = serial_bfs(g, 0)
+        level = validate_bfs_result(g, 0, parent)
+        assert level[2] == -1 and level[3] == -1
+
+
+class TestRejectsCorruptions:
+    """Failure injection: every spec rule must actually fire."""
+
+    def test_root_not_own_parent(self):
+        g = path_graph(4)
+        parent = make_valid(g, 0)
+        parent[0] = 1
+        with pytest.raises(ValidationError, match="root"):
+            validate_bfs_result(g, 0, parent)
+
+    def test_fabricated_tree_edge(self):
+        g = path_graph(5)
+        parent = make_valid(g, 0)
+        parent[4] = 0  # 0-4 is not an edge
+        with pytest.raises(ValidationError, match="not present"):
+            validate_bfs_result(g, 0, parent)
+
+    def test_level_skip(self):
+        # star: make a leaf claim another leaf as parent -> both level
+        # check or tree-edge check must fire.
+        g = star_graph(5)
+        parent = make_valid(g, 0)
+        parent[2] = 1
+        with pytest.raises(ValidationError):
+            validate_bfs_result(g, 0, parent)
+
+    def test_unvisited_reachable_vertex(self):
+        g = path_graph(4)
+        parent = make_valid(g, 0)
+        parent[3] = -1
+        with pytest.raises(ValidationError, match="visited and unvisited"):
+            validate_bfs_result(g, 0, parent)
+
+    def test_visited_unreachable_vertex(self):
+        src, dst = symmetrize_edges(np.array([0, 2]), np.array([1, 3]))
+        g = build_csr(src, dst, 4)
+        parent = serial_bfs(g, 0)
+        parent[2] = 3
+        parent[3] = 2  # cycle in the far component
+        with pytest.raises(ValidationError):
+            validate_bfs_result(g, 0, parent)
+
+    def test_parent_cycle(self):
+        g = random_graph(10, 40, seed=0)
+        parent = make_valid(g, 0)
+        # create a 2-cycle among non-root vertices that are adjacent
+        src, dst = g.arcs()
+        for u, v in zip(src.tolist(), dst.tolist()):
+            if u != 0 and v != 0 and u != v:
+                parent[u], parent[v] = v, u
+                break
+        with pytest.raises(ValidationError):
+            validate_bfs_result(g, 0, parent)
+
+    def test_out_of_range_parent(self):
+        g = path_graph(3)
+        parent = make_valid(g, 0)
+        parent[2] = 99
+        with pytest.raises(ValidationError, match="out-of-range"):
+            validate_bfs_result(g, 0, parent)
+
+    def test_wrong_shape(self):
+        g = path_graph(3)
+        with pytest.raises(ValidationError, match="shape"):
+            validate_bfs_result(g, 0, np.array([0, 0]))
+
+    def test_wrong_level_structure(self):
+        # Connect two branches of a path incorrectly: parent pointing two
+        # levels up is impossible in a path, use a cycle graph instead.
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 3, 4, 5, 0])
+        a_src, a_dst = symmetrize_edges(src, dst)
+        g = build_csr(a_src, a_dst, 6)
+        parent = make_valid(g, 0)
+        # Force vertex 3 (true level 3) to claim parent 2 while also
+        # corrupting vertex 2's parent to hang off the other side.
+        parent[2] = 3
+        parent[3] = 4
+        with pytest.raises(ValidationError):
+            validate_bfs_result(g, 0, parent)
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(2, 40))
+@settings(max_examples=30, deadline=None)
+def test_property_serial_bfs_always_validates(seed, n):
+    g = random_graph(n, 2 * n, seed=seed)
+    root = seed % n
+    parent = serial_bfs(g, root)
+    validate_bfs_result(g, root, parent)
