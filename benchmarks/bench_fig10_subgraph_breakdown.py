@@ -10,13 +10,16 @@ from conftest import emit
 
 from repro.analysis.breakdown import stack_series
 from repro.analysis.reporting import ascii_table, write_csv
+from repro.analysis.timeline import phase_seconds_from_trace
 
 PHASES = ["EH2EH", "E2L", "L2E", "H2L", "L2H", "L2L", "reduce", "other"]
 
 
 def test_fig10_subgraph_breakdown(benchmark, scaling_sweep, results_dir):
     points = benchmark.pedantic(lambda: scaling_sweep, rounds=1, iterations=1)
-    data = [(p.nodes, p.result.time_by_phase()) for p in points]
+    # Aggregate from the traced span tree (repro.obs); equals the
+    # ledger's seconds_by_phase for the same run.
+    data = [(p.nodes, phase_seconds_from_trace(p.trace)) for p in points]
     xs, cats, series = stack_series(data)
 
     rows = []

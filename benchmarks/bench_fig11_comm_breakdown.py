@@ -10,11 +10,14 @@ from conftest import emit
 
 from repro.analysis.breakdown import stack_series
 from repro.analysis.reporting import ascii_table, write_csv
+from repro.analysis.timeline import category_seconds_from_trace
 
 
 def test_fig11_comm_breakdown(benchmark, scaling_sweep, results_dir):
     points = benchmark.pedantic(lambda: scaling_sweep, rounds=1, iterations=1)
-    data = [(p.nodes, p.result.time_by_category()) for p in points]
+    # Aggregate from the traced span tree (repro.obs); equals the
+    # ledger's time_by_category for the same run.
+    data = [(p.nodes, category_seconds_from_trace(p.trace)) for p in points]
     xs, cats, series = stack_series(data)
 
     rows = [

@@ -1,0 +1,47 @@
+"""Trace-export smoke check: a SCALE-10 traced BFS round-trips to JSON.
+
+Not a paper figure — a CI gate for the observability layer: the driver
+must export Chrome trace_event JSON that (a) survives ``json.loads``,
+(b) has monotonically nested span timestamps on the simulated clock, and
+(c) carries byte counters summing to the run's TrafficLedger totals.
+"""
+
+import json
+
+from conftest import emit
+
+from repro.graph500.driver import run_graph500
+from repro.obs import Tracer, render_flame, write_chrome_trace
+
+
+def test_trace_smoke(benchmark, results_dir):
+    tracer = Tracer()
+    report = benchmark.pedantic(
+        lambda: run_graph500(10, 2, 2, num_roots=2, tracer=tracer),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.validated
+
+    trace_path = results_dir / "trace_smoke.json"
+    write_chrome_trace(tracer, trace_path)
+    doc = json.loads(trace_path.read_text())  # (a) round-trips
+    events = doc["traceEvents"]
+    assert len(events) == len(tracer.spans)
+
+    # (b) monotone nesting: every span closed, within its parent's
+    # simulated window, and charge leaves never run the clock backwards.
+    by_sid = {sp.sid: sp for sp in tracer.spans}
+    for sp in tracer.spans:
+        assert sp.closed and sp.sim_end >= sp.sim_start
+        if sp.parent is not None:
+            parent = by_sid[sp.parent]
+            assert parent.sim_start <= sp.sim_start <= sp.sim_end <= parent.sim_end
+
+    # (c) traced bytes == ledger bytes over all roots.
+    ledger_bytes = sum(r.ledger.total_bytes for r in report.results)
+    assert tracer.counter_total("bytes") == ledger_bytes
+
+    emit(results_dir, "trace_smoke_flame", render_flame(tracer, min_share=0.01))
+    benchmark.extra_info["num_spans"] = len(tracer.spans)
+    benchmark.extra_info["trace_bytes"] = ledger_bytes

@@ -35,10 +35,14 @@ def results_dir():
 
 @pytest.fixture(scope="session")
 def scaling_sweep():
-    """The weak-scaling sweep shared by Figures 9, 10, and 11."""
+    """The weak-scaling sweep shared by Figures 9, 10, and 11.
+
+    Run with tracing on so the Fig. 10/11 breakdowns aggregate the real
+    span tree (``point.trace``) instead of re-deriving from the ledger.
+    """
     from repro.analysis.experiments import run_scaling_sweep
 
-    return run_scaling_sweep(points=ladder())
+    return run_scaling_sweep(points=ladder(), trace=True)
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:

@@ -4,8 +4,11 @@
 Generates a SCALE-14 Graph500 graph, partitions it for a simulated
 64-node New Sunway mesh, runs one BFS, validates the result against the
 Graph500 specification, and prints the simulated performance summary.
+With a trace path, the run is recorded by ``repro.obs`` and exported as
+Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev) —
+see docs/observability.md.
 
-Run:  python examples/quickstart.py [scale]
+Run:  python examples/quickstart.py [scale] [trace.json]
 """
 
 import sys
@@ -20,7 +23,7 @@ from repro.machine.network import MachineSpec
 from repro.runtime.mesh import ProcessMesh
 
 
-def main(scale: int = 14) -> None:
+def main(scale: int = 14, trace_path: str | None = None) -> None:
     problem = Graph500Problem(scale=scale)
     print(f"Generating Graph500 SCALE {scale}: {problem.num_vertices:,} vertices, "
           f"{problem.num_edges:,} edges ...")
@@ -42,9 +45,15 @@ def main(scale: int = 14) -> None:
     print(f"  classes: E={sizes['E']}, H={sizes['H']}, L={sizes['L']}; "
           f"core subgraph holds {100 * part.core_fraction():.0f}% of edges")
 
+    tracer = None
+    if trace_path is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     engine = DistributedBFS(
         part, machine=machine,
         config=BFSConfig(e_threshold=512, h_threshold=32),
+        tracer=tracer,
     )
     graph = build_csr(*symmetrize_edges(src, dst), problem.num_vertices)
     root = int(np.argmax(graph.degrees))
@@ -68,6 +77,18 @@ def main(scale: int = 14) -> None:
     print(f"simulated GTEPS: {result.simulated_gteps(problem):.1f} "
           f"(paper-scale estimate at {rows * cols} nodes)")
 
+    if tracer is not None:
+        from repro.obs import render_flame, write_chrome_trace
+
+        print("\nWhere the simulated time went:")
+        print(render_flame(tracer, min_share=0.01))
+        events = write_chrome_trace(tracer, trace_path)
+        print(f"\nwrote {events} spans to {trace_path} — open it at "
+              "https://ui.perfetto.dev or chrome://tracing")
+
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 14)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 14,
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -16,6 +16,8 @@ machine:
   and the distributed BFS engine.
 - :mod:`repro.baselines` — 1D, 1D+heavy-delegates, and 2D BFS engines.
 - :mod:`repro.analysis` — breakdown collection and report rendering.
+- :mod:`repro.obs` — span-based tracing/profiling with Chrome-trace,
+  flame-text, and CSV exporters.
 
 Quickstart::
 
@@ -40,6 +42,7 @@ from repro.graph500 import (
     validate_bfs_result,
 )
 from repro.graphs import CSRGraph, build_csr, symmetrize_edges
+from repro.obs import NullTracer, Tracer
 
 __version__ = "1.0.0"
 
@@ -52,5 +55,7 @@ __all__ = [
     "CSRGraph",
     "build_csr",
     "symmetrize_edges",
+    "Tracer",
+    "NullTracer",
     "__version__",
 ]

@@ -113,8 +113,14 @@ def run_15d(
     e_threshold: int | None = None,
     h_threshold: int | None = None,
     config_overrides: dict | None = None,
+    tracer=None,
 ) -> tuple[PartitionedGraph, BFSRunResult]:
-    """Partition + run the 1.5D engine once; returns (partition, result)."""
+    """Partition + run the 1.5D engine once; returns (partition, result).
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) records the run's
+    span tree for the Fig. 10/11 aggregations in
+    :mod:`repro.analysis.timeline`.
+    """
     if e_threshold is None or h_threshold is None:
         e_threshold, h_threshold = tuned_thresholds(setup.scale)
     part = partition_graph(
@@ -127,7 +133,9 @@ def run_15d(
     )
     kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
     kwargs.update(config_overrides or {})
-    engine = DistributedBFS(part, machine=setup.machine, config=BFSConfig(**kwargs))
+    engine = DistributedBFS(
+        part, machine=setup.machine, config=BFSConfig(**kwargs), tracer=tracer
+    )
     return part, engine.run(setup.root)
 
 
@@ -221,6 +229,8 @@ class ScalingPoint:
     seconds: float
     result: BFSRunResult = field(repr=False)
     partition: PartitionedGraph = field(repr=False)
+    #: Span tree of the measured run (``trace=True`` sweeps only).
+    trace: object = field(repr=False, default=None)
 
 
 def run_scaling_sweep(
@@ -228,13 +238,22 @@ def run_scaling_sweep(
     *,
     seed: int = 1,
     num_roots: int = 1,
+    trace: bool = False,
 ) -> list[ScalingPoint]:
     """Weak-scaling sweep of the full 1.5D engine (Fig. 9 data; the
-    per-point results also carry Fig. 10/11 breakdowns)."""
+    per-point results also carry Fig. 10/11 breakdowns).
+
+    ``trace=True`` attaches a fresh :class:`~repro.obs.tracer.Tracer`
+    per point so the figure benches can aggregate real spans instead of
+    re-deriving breakdowns from the ledger.
+    """
+    from repro.obs.tracer import Tracer
+
     out = []
     for scale, rows, cols in points:
+        tracer = Tracer() if trace else None
         setup = build_setup(scale, rows, cols, seed=seed)
-        part, res = run_15d(setup)
+        part, res = run_15d(setup, tracer=tracer)
         seconds = res.total_seconds
         if num_roots > 1:
             rng = np.random.default_rng(seed + 7)
@@ -259,6 +278,7 @@ def run_scaling_sweep(
                 seconds=seconds,
                 result=res,
                 partition=part,
+                trace=tracer,
             )
         )
     return out

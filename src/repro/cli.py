@@ -10,7 +10,11 @@ Subcommands mirror the library's experiment drivers:
 - ``ocs`` — the Fig. 14 bucketing microbenchmark.
 
 All output is plain text; ``--csv PATH`` additionally writes machine-
-readable results where it applies.
+readable results where it applies.  ``graph500`` and ``bfs`` accept
+``--trace out.json`` to record the run with :mod:`repro.obs` and export
+a Chrome ``trace_event`` file (open in ``chrome://tracing`` or
+https://ui.perfetto.dev); ``bfs`` additionally accepts ``--flame`` to
+print the span-tree summary.
 """
 
 from __future__ import annotations
@@ -58,9 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--e-threshold", type=int, default=None)
     common.add_argument("--h-threshold", type=int, default=None)
 
+    trace_help = "write a Chrome trace_event JSON of the run to PATH"
+
     g5 = sub.add_parser("graph500", parents=[common], help="official benchmark flow")
     g5.add_argument("--roots", type=int, default=8, help="BFS roots (64 = conforming)")
     g5.add_argument("--no-validate", action="store_true")
+    g5.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
 
     bfs = sub.add_parser("bfs", parents=[common], help="one traced BFS run")
     bfs.add_argument("--root", type=int, default=None, help="default: max-degree hub")
@@ -68,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="print the per-iteration component/time matrix",
+    )
+    bfs.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
+    bfs.add_argument(
+        "--flame",
+        action="store_true",
+        help="print the flame-style span summary (implies tracing)",
     )
 
     sweep = sub.add_parser("sweep", help="weak-scaling ladder (Fig. 9)")
@@ -100,9 +113,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(tracer, path) -> bool:
+    from repro.obs.export import write_chrome_trace
+
+    try:
+        events = write_chrome_trace(tracer, path)
+    except OSError as exc:
+        print(f"error: cannot write trace to {path}: {exc}", file=sys.stderr)
+        return False
+    print(f"trace: {events} spans -> {path}")
+    return True
+
+
 def _cmd_graph500(args) -> int:
     from repro.graph500.driver import run_graph500
+    from repro.obs.tracer import Tracer
 
+    tracer = Tracer() if args.trace else None
     rows, cols = args.mesh
     report = run_graph500(
         args.scale,
@@ -113,16 +140,20 @@ def _cmd_graph500(args) -> int:
         e_threshold=args.e_threshold,
         h_threshold=args.h_threshold,
         validate=not args.no_validate,
+        tracer=tracer,
     )
     print(report.render())
     print(f"harmonic_mean_GTEPS: {report.mean_gteps:.3f}")
-    return 0 if report.validated else 1
+    wrote = _write_trace(tracer, args.trace) if tracer is not None else True
+    return 0 if report.validated and wrote else 1
 
 
 def _cmd_bfs(args) -> int:
     from repro.analysis.experiments import build_setup, run_15d
     from repro.analysis.reporting import ascii_table, format_seconds
+    from repro.obs.tracer import Tracer
 
+    tracer = Tracer() if (args.trace or args.flame) else None
     rows, cols = args.mesh
     setup = build_setup(args.scale, rows, cols, seed=args.seed)
     if args.root is not None:
@@ -131,7 +162,8 @@ def _cmd_bfs(args) -> int:
             setup.mesh, setup.machine, args.root,
         )
     part, res = run_15d(
-        setup, e_threshold=args.e_threshold, h_threshold=args.h_threshold
+        setup, e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+        tracer=tracer,
     )
     print(f"classes: {part.class_sizes()}")
     print(ascii_table(
@@ -149,7 +181,14 @@ def _cmd_bfs(args) -> int:
         from repro.analysis.timeline import render_timeline
 
         print()
-        print(render_timeline(res))
+        print(render_timeline(res, tracer=tracer))
+    if args.flame:
+        from repro.obs.export import render_flame
+
+        print()
+        print(render_flame(tracer))
+    if args.trace and not _write_trace(tracer, args.trace):
+        return 1
     return 0
 
 

@@ -27,6 +27,13 @@ Communication pattern per the 1.5D scheme:
   wall of bottom-up 1D, priced explicitly).
 - parent arrays of delegated vertices: reduce-scatter at run end (delayed
   reduction, §5) or every iteration when disabled.
+
+Observability: pass ``tracer=`` a :class:`~repro.obs.tracer.Tracer` to
+record the run as a span tree — one span per BFS, per iteration, and per
+executed component sub-iteration (annotated with the chosen direction,
+frontier size, and scanned-arc/message counters) with every ledger charge
+as a leaf underneath.  The default :data:`~repro.obs.tracer.NULL_TRACER`
+is a no-op and leaves results bit-identical to an untraced run.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.core.segmenting import plan_segmenting
 from repro.core.subgraphs import COMPONENT_ORDER
 from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
 from repro.machine.network import MachineSpec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.ledger import TrafficLedger
 
 __all__ = ["DistributedBFS"]
@@ -62,10 +70,12 @@ class DistributedBFS:
         part: PartitionedGraph,
         machine: MachineSpec | None = None,
         config: BFSConfig = BFSConfig(),
+        tracer: Tracer | None = None,
     ) -> None:
         self.part = part
         self.mesh = part.mesh
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if machine is None:
             machine = self.mesh.machine or MachineSpec(
                 num_nodes=self.mesh.num_ranks
@@ -113,54 +123,74 @@ class DistributedBFS:
         visited[root] = True
         active[root] = True
 
-        ledger = TrafficLedger(self.cost)
+        tracer = self.tracer
+        ledger = TrafficLedger(self.cost, tracer=tracer)
         iterations: list[IterationRecord] = []
 
-        for it in range(cfg.max_iterations):
-            if not active.any():
-                break
-            self._charge_delegate_sync(ledger, active)
-            record = IterationRecord(
-                index=it, frontier_size=int(np.count_nonzero(active))
-            )
-            next_active = np.zeros(n, dtype=bool)
+        with tracer.span("bfs", category="bfs", root=root):
+            for it in range(cfg.max_iterations):
+                if not active.any():
+                    break
+                frontier = int(np.count_nonzero(active))
+                with tracer.span(
+                    "iteration", category="iteration", index=it, frontier=frontier
+                ):
+                    self._charge_delegate_sync(ledger, active)
+                    record = IterationRecord(index=it, frontier_size=frontier)
+                    next_active = np.zeros(n, dtype=bool)
 
-            global_dir = None
-            if not cfg.sub_iteration_direction:
-                global_dir = choose_whole_iteration_direction(
-                    active, visited, self.part.degrees, cfg
-                )
+                    global_dir = None
+                    if not cfg.sub_iteration_direction:
+                        global_dir = choose_whole_iteration_direction(
+                            active, visited, self.part.degrees, cfg
+                        )
 
-            for name in COMPONENT_ORDER:
-                comp = self.part.components[name]
-                if comp.num_arcs == 0:
-                    record.directions[name] = "-"
-                    continue
-                if global_dir is None:
-                    ratios = self.class_state.measure(active, visited)
-                    direction = choose_component_direction(name, ratios, cfg)
-                else:
-                    direction = global_dir
-                record.directions[name] = direction
-                newly, parents = self._execute(
-                    name, comp, direction, active, visited, parent, ledger, record
-                )
-                if newly.size:
-                    parent[newly] = parents
-                    visited[newly] = True
-                    next_active[newly] = True
+                    for name in COMPONENT_ORDER:
+                        comp = self.part.components[name]
+                        if comp.num_arcs == 0:
+                            record.directions[name] = "-"
+                            continue
+                        if global_dir is None:
+                            ratios = self.class_state.measure(active, visited)
+                            direction = choose_component_direction(
+                                name, ratios, cfg
+                            )
+                        else:
+                            direction = global_dir
+                        record.directions[name] = direction
+                        with tracer.span(
+                            name,
+                            category="component",
+                            iteration=it,
+                            direction=direction,
+                        ) as csp:
+                            newly, parents = self._execute(
+                                name, comp, direction, active, visited, parent,
+                                ledger, record,
+                            )
+                            csp.add_counter(
+                                "edges", record.scanned_arcs.get(name, 0)
+                            )
+                            if record.messages.get(name, 0):
+                                csp.add_counter("messages", record.messages[name])
+                            csp.add_counter("activated", newly.size)
+                        if newly.size:
+                            parent[newly] = parents
+                            visited[newly] = True
+                            next_active[newly] = True
 
-            for cls in ("E", "H", "L"):
-                record.newly_activated[cls] = int(
-                    np.count_nonzero(next_active & self.masks[cls])
-                )
-            if not cfg.delayed_reduction:
-                self._charge_parent_reduction(ledger)
-            iterations.append(record)
-            active = next_active
+                    for cls in ("E", "H", "L"):
+                        record.newly_activated[cls] = int(
+                            np.count_nonzero(next_active & self.masks[cls])
+                        )
+                    if not cfg.delayed_reduction:
+                        self._charge_parent_reduction(ledger)
+                    iterations.append(record)
+                    active = next_active
 
-        if cfg.delayed_reduction:
-            self._charge_parent_reduction(ledger)
+            if cfg.delayed_reduction:
+                with tracer.span("parent_reduction", category="phase"):
+                    self._charge_parent_reduction(ledger)
 
         return BFSRunResult(
             root=root,

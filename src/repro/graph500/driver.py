@@ -18,6 +18,12 @@ The specification's run structure, reproduced end to end:
 
 Times here are the *simulated* seconds of the machine model; the
 statistics machinery is the specification's.
+
+Pass ``tracer=`` a :class:`~repro.obs.tracer.Tracer` to record the whole
+flow as a span tree: ``generate`` and ``construction`` phases, one
+``root`` span per search key (containing the engine's per-iteration and
+per-component spans), a ``validate`` phase per root, and a final
+``harvest`` phase for the statistics block.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.graph500.validate import validate_bfs_result
 from repro.graphs.csr import build_csr, symmetrize_edges
 from repro.graphs.stats import degrees_from_edges
 from repro.machine.network import MachineSpec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.mesh import ProcessMesh
 
 __all__ = [
@@ -181,6 +188,7 @@ def run_graph500(
     config_overrides: dict | None = None,
     validate: bool = True,
     construction_seconds: float | None = None,
+    tracer: Tracer | None = None,
 ) -> Graph500Report:
     """Run the full Graph500 benchmark flow on the simulated machine.
 
@@ -199,15 +207,21 @@ def run_graph500(
         Override the kernel-1 time (e.g. from a
         :func:`repro.core.preprocessing.preprocess` report); defaults to
         the modeled construction estimate.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording the run as a
+        span tree (generate / construction / per-root BFS + validate /
+        harvest); export it with :mod:`repro.obs.export`.
     """
     from repro.analysis.experiments import tuned_thresholds
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     problem = Graph500Problem(scale=scale)
     if e_threshold is None or h_threshold is None:
         e_threshold, h_threshold = tuned_thresholds(scale)
 
     rng = np.random.default_rng(seed)
-    src, dst = generate_edges(scale, seed=seed)
+    with tracer.span("generate", category="phase", scale=scale):
+        src, dst = generate_edges(scale, seed=seed)
     p = rows * cols
     if machine is None:
         machine = MachineSpec(
@@ -215,18 +229,26 @@ def run_graph500(
         ).scaled_for(src.size / p)
     mesh = ProcessMesh(rows, cols, machine=machine)
 
-    part = partition_graph(
-        src, dst, problem.num_vertices, mesh,
-        e_threshold=e_threshold, h_threshold=h_threshold,
-    )
-    if construction_seconds is None:
-        from repro.core.preprocessing import estimate_construction_seconds
+    with tracer.span("construction", category="phase") as kernel1:
+        part = partition_graph(
+            src, dst, problem.num_vertices, mesh,
+            e_threshold=e_threshold, h_threshold=h_threshold,
+        )
+        if construction_seconds is None:
+            from repro.core.preprocessing import estimate_construction_seconds
 
-        construction_seconds = estimate_construction_seconds(part, machine)
+            construction_seconds = estimate_construction_seconds(part, machine)
+        # Advance the simulated timeline past kernel 1 so the per-root BFS
+        # spans start where a real run's would.
+        tracer.charge("kernel1", category="construction",
+                      sim_seconds=construction_seconds)
+        kernel1.attrs["seconds"] = construction_seconds
 
     kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
     kwargs.update(config_overrides or {})
-    engine = DistributedBFS(part, machine=machine, config=BFSConfig(**kwargs))
+    engine = DistributedBFS(
+        part, machine=machine, config=BFSConfig(**kwargs), tracer=tracer
+    )
 
     degrees = part.degrees
     roots = sample_roots(degrees, num_roots, rng=rng)
@@ -238,28 +260,32 @@ def run_graph500(
     times, teps, results = [], [], []
     all_valid = True
     for root in roots:
-        res = engine.run(int(root))
-        if validate:
-            try:
-                validate_bfs_result(
-                    graph, int(root), res.parent, edge_src=src, edge_dst=dst
-                )
-            except AssertionError:
-                all_valid = False
+        with tracer.span("root", category="bfs_root", root=int(root)):
+            res = engine.run(int(root))
+            if validate:
+                with tracer.span("validate", category="phase", root=int(root)):
+                    try:
+                        validate_bfs_result(
+                            graph, int(root), res.parent,
+                            edge_src=src, edge_dst=dst,
+                        )
+                    except AssertionError:
+                        all_valid = False
         times.append(res.total_seconds)
         teps.append(problem.num_edges / res.total_seconds)
         results.append(res)
 
-    return Graph500Report(
-        problem=problem,
-        num_nodes=p,
-        construction_seconds=construction_seconds,
-        roots=roots,
-        bfs_times=np.array(times),
-        teps=np.array(teps),
-        validated=all_valid,
-        results=results,
-    )
+    with tracer.span("harvest", category="phase", num_roots=int(roots.size)):
+        return Graph500Report(
+            problem=problem,
+            num_nodes=p,
+            construction_seconds=construction_seconds,
+            roots=roots,
+            bfs_times=np.array(times),
+            teps=np.array(teps),
+            validated=all_valid,
+            results=results,
+        )
 
 
 def run_graph500_sssp(

@@ -1,0 +1,44 @@
+"""repro.obs — structured tracing and profiling for the simulated system.
+
+The observability layer the paper's evaluation implies but never names:
+every per-component timing in Fig. 10 and every per-collective byte count
+in Fig. 11 presupposes a way to attribute simulated time and traffic to
+the sub-iteration that spent it.  :class:`~repro.obs.tracer.Tracer` is
+that attribution: a tree of spans over two clocks (simulated seconds from
+the :class:`~repro.runtime.ledger.TrafficLedger`'s charges, wall seconds
+from the host), with per-span counters for bytes, messages, and edges.
+
+- :mod:`repro.obs.tracer` — ``Tracer`` / ``Span`` / zero-overhead
+  ``NullTracer`` (the default everywhere).
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto), flame-style text summary, CSV of
+  span aggregates.
+
+Produce a trace by passing ``tracer=Tracer()`` to
+:class:`~repro.core.engine.DistributedBFS`,
+:func:`~repro.graph500.driver.run_graph500`, or
+:func:`~repro.sort.ocs.simulate_ocs_rma` — or ``--trace out.json`` on the
+CLI's ``bfs`` and ``graph500`` subcommands.  See ``docs/observability.md``
+for a worked example.
+"""
+
+from repro.obs.export import (
+    render_flame,
+    span_aggregates,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_span_csv,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_flame",
+    "span_aggregates",
+    "write_span_csv",
+]

@@ -1,0 +1,210 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, flame text, span CSV.
+
+Three views of one :class:`~repro.obs.tracer.Tracer`:
+
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format (the "JSON Array with metadata" variant),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans
+  become complete (``"ph": "X"``) events; by default timestamps are the
+  *simulated* clock, so the rendered timeline is the modeled machine's —
+  the per-iteration structure behind the paper's Fig. 10/11 breakdowns —
+  not the simulator's own wall time (pass ``clock="wall"`` for that).
+- :func:`render_flame` — a flame-graph-style text summary aggregated by
+  span name path, inclusive simulated seconds, counts, and counters.
+- :func:`span_aggregates` / :func:`write_span_csv` — a flat table of
+  per-path aggregates for spreadsheet analysis.
+
+All exporters skip still-open spans (a trace is normally exported after
+the traced run returns, when every span is closed).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_flame",
+    "span_aggregates",
+    "write_span_csv",
+]
+
+
+def _closed_spans(tracer: "Tracer") -> list["Span"]:
+    return [sp for sp in tracer.spans if sp.closed]
+
+
+def _span_path(tracer: "Tracer") -> dict[int, str]:
+    """sid -> '/'-joined name path from the root (names, not indices)."""
+    by_sid = {sp.sid: sp for sp in tracer.spans}
+    paths: dict[int, str] = {}
+    for sp in tracer.spans:
+        if sp.parent is None or sp.parent not in paths:
+            paths[sp.sid] = sp.name
+        else:
+            paths[sp.sid] = f"{paths[sp.parent]}/{sp.name}"
+    del by_sid
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(tracer: "Tracer", *, clock: str = "sim") -> dict:
+    """Render the span tree as a Chrome ``trace_event`` document.
+
+    ``clock="sim"`` (default) places events on the simulated timeline;
+    ``clock="wall"`` uses host wall time relative to the first span.
+    Timestamps are microseconds, as the format requires.  Every event
+    carries its attrs and counters in ``args`` (plus the other clock's
+    duration), so nothing recorded is lost in export.
+    """
+    if clock not in ("sim", "wall"):
+        raise ValueError(f"clock must be 'sim' or 'wall', got {clock!r}")
+    spans = _closed_spans(tracer)
+    events = []
+    wall0 = min((sp.wall_start for sp in spans), default=0.0)
+    for sp in spans:
+        if clock == "sim":
+            ts, dur = sp.sim_start * 1e6, sp.sim_seconds * 1e6
+            other = {"wall_us": round(sp.wall_seconds * 1e6, 3)}
+        else:
+            ts = (sp.wall_start - wall0) * 1e6
+            dur = sp.wall_seconds * 1e6
+            other = {"sim_us": round(sp.sim_seconds * 1e6, 6)}
+        args = {**sp.attrs, **sp.counters, **other}
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.category,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": round(ts, 6),
+                "dur": round(dur, 6),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "clock": clock},
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path, *, clock: str = "sim") -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    doc = to_chrome_trace(tracer, clock=clock)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# flame-style text summary
+# ----------------------------------------------------------------------
+
+
+def _fmt_seconds(seconds: float) -> str:
+    for unit, factor in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6)):
+        if seconds >= factor:
+            return f"{seconds / factor:.2f} {unit}"
+    return f"{seconds / 1e-9:.1f} ns"
+
+
+def render_flame(tracer: "Tracer", *, min_share: float = 0.0) -> str:
+    """Flame-style text tree: inclusive simulated seconds by name path.
+
+    Repeated spans with the same path (all iterations, all components of
+    one kind) fold into one row with a count.  ``min_share`` hides rows
+    below that fraction of the total simulated time.
+    """
+    spans = _closed_spans(tracer)
+    if not spans:
+        return "(no spans recorded)"
+    paths = _span_path(tracer)
+    agg: dict[str, dict] = {}
+    for sp in spans:
+        row = agg.setdefault(
+            paths[sp.sid],
+            {"count": 0, "sim": 0.0, "wall": 0.0, "depth": sp.depth},
+        )
+        row["count"] += 1
+        row["sim"] += sp.sim_seconds
+        row["wall"] += sp.wall_seconds
+    total = sum(r["sim"] for p, r in agg.items() if r["depth"] == 0) or 1e-30
+    width = max(len("span"), max(2 * r["depth"] + len(p.rsplit("/", 1)[-1]) for p, r in agg.items()))
+    out = [
+        f"{'span':<{width}}  {'count':>6}  {'sim time':>10}  {'share':>6}  {'wall':>10}",
+        "-" * (width + 40),
+    ]
+    for path in sorted(agg):  # depth-first: paths sort under their parents
+        row = agg[path]
+        share = row["sim"] / total
+        if share < min_share and row["depth"] > 0:
+            continue
+        label = "  " * row["depth"] + path.rsplit("/", 1)[-1]
+        out.append(
+            f"{label:<{width}}  {row['count']:>6}  {_fmt_seconds(row['sim']):>10}"
+            f"  {100 * share:>5.1f}%  {_fmt_seconds(row['wall']):>10}"
+        )
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# flat CSV of span aggregates
+# ----------------------------------------------------------------------
+
+
+def span_aggregates(tracer: "Tracer") -> list[dict]:
+    """One row per span name path: count, clock totals, summed counters."""
+    spans = _closed_spans(tracer)
+    paths = _span_path(tracer)
+    agg: dict[str, dict] = {}
+    for sp in spans:
+        row = agg.setdefault(
+            paths[sp.sid],
+            {
+                "path": paths[sp.sid],
+                "category": sp.category,
+                "count": 0,
+                "sim_seconds": 0.0,
+                "wall_seconds": 0.0,
+                "counters": defaultdict(float),
+            },
+        )
+        row["count"] += 1
+        row["sim_seconds"] += sp.sim_seconds
+        row["wall_seconds"] += sp.wall_seconds
+        for key, val in sp.counters.items():
+            row["counters"][key] += val
+    out = []
+    for path in sorted(agg):
+        row = agg[path]
+        out.append({**{k: v for k, v in row.items() if k != "counters"},
+                    **dict(row["counters"])})
+    return out
+
+
+def write_span_csv(tracer: "Tracer", path) -> int:
+    """Write :func:`span_aggregates` as CSV; returns the row count."""
+    rows = span_aggregates(tracer)
+    fixed = ["path", "category", "count", "sim_seconds", "wall_seconds"]
+    counter_keys = sorted({k for r in rows for k in r if k not in fixed})
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fixed + counter_keys)
+        for row in rows:
+            writer.writerow(
+                [row[k] for k in fixed] + [row.get(k, 0.0) for k in counter_keys]
+            )
+    return len(rows)

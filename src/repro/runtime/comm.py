@@ -9,6 +9,12 @@ with the intra-/inter-supernode split derived from the mesh topology.
 
 Collectives accept a ``group`` (any subset of ranks: a row, a column, or
 the whole mesh), mirroring MPI sub-communicators.
+
+Tracing: attach a :class:`~repro.obs.tracer.Tracer` to the ledger
+(``TrafficLedger(cost, tracer=...)``) and every collective here emits a
+leaf span — named after the collective kind, tagged with its phase and
+participant count, carrying a ``bytes`` counter — under whatever span
+the caller has open.
 """
 
 from __future__ import annotations

@@ -11,6 +11,13 @@ figures:
   :class:`~repro.machine.costmodel.CollectiveKind`, plus the compute and
   imbalance terms;
 - Fig. 9's GTEPS = traversed edges / ``total_seconds``.
+
+When a :class:`~repro.obs.tracer.Tracer` is attached (``tracer=``), every
+charge additionally emits a leaf span under the tracer's currently open
+span — simulated duration equal to the priced seconds, a ``bytes``
+counter for collectives and an ``items`` counter for kernels — so span
+aggregates reproduce the ledger's totals exactly.  The default
+:data:`~repro.obs.tracer.NULL_TRACER` makes this a no-op.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.machine.costmodel import CollectiveKind, CostModel
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["CommEvent", "ComputeEvent", "TrafficLedger"]
 
@@ -58,6 +66,8 @@ class TrafficLedger:
     cost_model: CostModel
     comm_events: list[CommEvent] = field(default_factory=list)
     compute_events: list[ComputeEvent] = field(default_factory=list)
+    #: Observability sink; every charge mirrors into a leaf span.
+    tracer: object = field(default=NULL_TRACER, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # recording
@@ -80,20 +90,28 @@ class TrafficLedger:
         seconds = self.cost_model.collective_time(
             kind, participants, max_bytes_intra, max_bytes_inter
         )
-        self.comm_events.append(
-            CommEvent(
-                phase=phase,
-                kind=kind,
-                participants=participants,
-                max_bytes_intra=max_bytes_intra,
-                max_bytes_inter=max_bytes_inter,
-                total_bytes=(
-                    max_bytes_intra + max_bytes_inter
-                    if total_bytes is None
-                    else total_bytes
-                ),
-                seconds=seconds,
-            )
+        event = CommEvent(
+            phase=phase,
+            kind=kind,
+            participants=participants,
+            max_bytes_intra=max_bytes_intra,
+            max_bytes_inter=max_bytes_inter,
+            total_bytes=(
+                max_bytes_intra + max_bytes_inter
+                if total_bytes is None
+                else total_bytes
+            ),
+            seconds=seconds,
+        )
+        self.comm_events.append(event)
+        self.tracer.charge(
+            kind.value,
+            category="collective",
+            sim_seconds=seconds,
+            counters={"bytes": event.total_bytes},
+            phase=phase,
+            kind=kind.value,
+            participants=participants,
         )
         return seconds
 
@@ -129,6 +147,14 @@ class TrafficLedger:
                 seconds=seconds_for_max,
                 imbalance_seconds=imbalance,
             )
+        )
+        self.tracer.charge(
+            kernel,
+            category="kernel",
+            sim_seconds=seconds_for_max,
+            counters={"items": float(total_items),
+                      "imbalance_seconds": imbalance},
+            phase=phase,
         )
         return seconds_for_max
 

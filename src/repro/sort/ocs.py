@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.machine.chip import ChipSpec, SW26010_PRO
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sort.bucket import bucket_partition
 
 __all__ = ["OCSConfig", "OCSResult", "simulate_ocs_rma"]
@@ -104,6 +105,7 @@ def simulate_ocs_rma(
     *,
     config: OCSConfig = OCSConfig(),
     chip: ChipSpec = SW26010_PRO,
+    tracer: Tracer | None = None,
 ) -> OCSResult:
     """Run OCS-RMA: functionally bucket ``values``, count and price events.
 
@@ -118,7 +120,13 @@ def simulate_ocs_rma(
         destination-rank count for message generation).
     config, chip:
         Kernel and chip parameters.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; records an
+        ``ocs_rma`` span with one leaf per modeled cost term (DMA
+        streaming, producer batching, consumer draining, cross-CG
+        atomics), each carrying its event counters.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     if config.num_cgs > chip.num_core_groups:
         raise ValueError(
             f"config asks for {config.num_cgs} CGs, chip has {chip.num_core_groups}"
@@ -178,6 +186,33 @@ def simulate_ocs_rma(
         else 0.0
     )
     seconds = t_dma + t_cpe + t_rma + t_atomic
+
+    if tracer.enabled:
+        t_produce = max_prod_msgs * chip.cpe_message_ns * 1e-9 + t_rma
+        t_consume = max_cons_msgs * chip.cpe_message_ns * 1e-9
+        with tracer.span(
+            "ocs_rma", category="ocs",
+            num_buckets=num_buckets, num_cgs=config.num_cgs,
+        ):
+            tracer.charge(
+                "dma_stream", category="kernel", sim_seconds=t_dma,
+                counters={"dma_bytes": float(dma_bytes)}, phase="ocs",
+            )
+            tracer.charge(
+                "produce", category="kernel", sim_seconds=t_produce,
+                counters={"messages": float(n), "batches": float(batches)},
+                phase="ocs",
+            )
+            tracer.charge(
+                "consume", category="kernel", sim_seconds=t_consume,
+                counters={"messages": float(n)}, phase="ocs",
+            )
+            if t_atomic:
+                tracer.charge(
+                    "cross_cg_atomics", category="kernel",
+                    sim_seconds=t_atomic,
+                    counters={"atomics": float(atomics)}, phase="ocs",
+                )
 
     return OCSResult(
         values=out,

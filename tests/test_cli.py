@@ -72,6 +72,39 @@ class TestCommands:
         assert "6 CGs" in out
         assert "utilization" in out
 
+    def test_bfs_trace_export(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "bfs", "--scale", "10", "--mesh", "2x2", "--trace", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace:" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["generator"] == "repro.obs"
+
+    def test_bfs_flame_summary(self, capsys):
+        rc = main(["bfs", "--scale", "10", "--mesh", "2x2", "--flame"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "iteration" in out and "share" in out
+
+    def test_graph500_trace_export(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "g5.json"
+        rc = main([
+            "graph500", "--scale", "10", "--mesh", "2x2", "--roots", "2",
+            "--trace", str(out_path),
+        ])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert {"construction", "root", "iteration"} <= names
+
     def test_threshold_flags(self, capsys):
         rc = main([
             "bfs", "--scale", "10", "--mesh", "2x2",

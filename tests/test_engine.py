@@ -198,6 +198,37 @@ class TestModeledBehaviour:
             p.num_edges / res.total_seconds / 1e9
         )
 
+    def test_traced_run_emits_span_per_executed_subiteration(self):
+        """A traced run records exactly one component span per executed
+        sub-iteration (skipped empty components get none), nested under
+        its iteration span, and the modeled result is unchanged."""
+        from repro.obs import Tracer
+
+        engine, graph, _, _ = build_setup()
+        tracer = Tracer()
+        traced = DistributedBFS(
+            engine.part, machine=engine.machine, config=engine.config,
+            tracer=tracer,
+        )
+        root = int(np.argmax(graph.degrees))
+        res = traced.run(root)
+        assert np.array_equal(res.parent, engine.run(root).parent)
+
+        by_sid = {sp.sid: sp for sp in tracer.spans}
+        component_spans = tracer.find(category="component")
+        executed = sum(
+            1 for rec in res.iterations
+            for d in rec.directions.values() if d != "-"
+        )
+        assert len(component_spans) == executed
+        per_iteration = {}
+        for sp in component_spans:
+            assert by_sid[sp.parent].category == "iteration"
+            per_iteration.setdefault(sp.attrs["iteration"], []).append(sp.name)
+        for rec in res.iterations:
+            ran = [n for n, d in rec.directions.items() if d != "-"]
+            assert per_iteration.get(rec.index, []) == ran
+
 
 @given(
     seed=st.integers(0, 300),
