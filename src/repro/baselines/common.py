@@ -9,10 +9,14 @@ Every baseline is a :class:`BaselineEngine` subclass that provides:
   prerequisites (``charge_pull_prereq``);
 - kernel rates per direction.
 
-The loop itself is identical whole-iteration direction-optimized BFS
-(Beamer heuristic — none of the baselines has sub-iteration direction),
-so differences in simulated time come only from the partitioning scheme's
-communication and balance properties.
+The loop itself is the shared
+:class:`~repro.core.kernels.scheduler.LevelSyncScheduler` running one
+:class:`BaselineComponentKernel` per component — identical
+whole-iteration direction-optimized BFS (Beamer heuristic; none of the
+baselines has sub-iteration direction) — so differences in simulated
+time come only from the partitioning scheme's communication and balance
+properties.  Pass ``tracer=`` to get the same ``bfs`` → ``iteration`` →
+``component`` span tree the 1.5D engine emits.
 """
 
 from __future__ import annotations
@@ -21,17 +25,67 @@ import numpy as np
 
 from repro.core.config import BFSConfig
 from repro.core.direction import choose_whole_iteration_direction
+from repro.core.kernels.base import ComponentKernel
+from repro.core.kernels.scheduler import LevelSyncScheduler, SchedulerHost
 from repro.core.metrics import BFSRunResult, IterationRecord
 from repro.core.subgraphs import SubgraphComponent
 from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
 from repro.machine.network import MachineSpec
+from repro.obs.tracer import Tracer
 from repro.runtime.ledger import TrafficLedger
 from repro.runtime.mesh import ProcessMesh
 
-__all__ = ["BaselineEngine"]
+__all__ = ["BaselineEngine", "BaselineComponentKernel"]
 
 
-class BaselineEngine:
+class BaselineComponentKernel(ComponentKernel):
+    """Generic push/pull kernel over one baseline component.
+
+    The traversal semantics (frontier arc selection, early-exit pull
+    scan, first-writer-wins updates) are the shared component
+    primitives; everything scheme-specific — message charges, pull
+    prerequisites, kernel rates — is delegated back to the owning
+    :class:`BaselineEngine`'s hooks.
+    """
+
+    def __init__(self, engine: "BaselineEngine", name: str, comp: SubgraphComponent):
+        self.engine = engine
+        self.name = name
+        self.comp = comp
+
+    @property
+    def num_arcs(self) -> int:
+        return self.comp.num_arcs
+
+    def execute(self, direction, active, visited, ledger, record):
+        eng, name = self.engine, self.name
+        if direction == "push":
+            sel = self.comp.push_select(active)
+            per_rank = sel.per_rank(eng._p)
+            record.scanned_arcs[name] = sel.num_arcs
+            seconds = eng.rates.kernel_time(
+                int(per_rank.max()), eng.push_rate(name), eng._ws
+            )
+            ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+            if sel.num_arcs:
+                eng.charge_push_messages(name, sel, ledger)
+            fresh = ~visited[sel.dst]
+            src_f, dst_f = sel.src[fresh], sel.dst[fresh]
+            newly, first = np.unique(dst_f, return_index=True)
+            return newly, src_f[first]
+        eng.charge_pull_prereq(name, ledger, active, visited)
+        scan = self.comp.pull_scan(~visited, active)
+        record.scanned_arcs[name] = scan.scanned_arcs
+        seconds = eng.rates.kernel_time(
+            int(scan.scanned_per_rank.max()), eng.pull_rate(name), eng._ws
+        )
+        ledger.charge_compute(
+            name, f"pull:{name}", scan.scanned_per_rank, seconds
+        )
+        return scan.hit_dst, scan.hit_src
+
+
+class BaselineEngine(SchedulerHost):
     """Whole-iteration direction-optimized BFS over scheme components."""
 
     #: Human-readable scheme name (Table 1's "Part. Method" column).
@@ -45,6 +99,7 @@ class BaselineEngine:
         mesh: ProcessMesh,
         machine: MachineSpec | None = None,
         config: BFSConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.mesh = mesh
         self.num_vertices = int(num_vertices)
@@ -64,6 +119,11 @@ class BaselineEngine:
         self.num_input_edges = (
             sum(c.num_arcs for c in self.components.values()) // 2
         )
+        self.kernels = {
+            name: BaselineComponentKernel(self, name, comp)
+            for name, comp in self.components.items()
+        }
+        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
 
     # ------------------------------------------------------------------
     # scheme hooks
@@ -96,97 +156,29 @@ class BaselineEngine:
         return self.rates.pull_rate_unsegmented()
 
     # ------------------------------------------------------------------
-    # the shared loop
+    # scheduler hooks
     # ------------------------------------------------------------------
 
     def run(self, root: int) -> BFSRunResult:
-        n = self.num_vertices
-        if not 0 <= root < n:
-            raise ValueError(f"root {root} out of range for n={n}")
-        parent = np.full(n, -1, dtype=np.int64)
-        visited = np.zeros(n, dtype=bool)
-        active = np.zeros(n, dtype=bool)
-        parent[root] = root
-        visited[root] = True
-        active[root] = True
+        return self.scheduler.run(root)
 
-        ledger = TrafficLedger(self.cost)
-        iterations: list[IterationRecord] = []
+    def begin_iteration(self, ledger, active, visited) -> None:
+        self.charge_iteration_sync(ledger, active, visited)
 
-        for it in range(self.config.max_iterations):
-            if not active.any():
-                break
-            self.charge_iteration_sync(ledger, active, visited)
-            record = IterationRecord(
-                index=it, frontier_size=int(np.count_nonzero(active))
-            )
-            direction = choose_whole_iteration_direction(
-                active, visited, self.degrees, self.config
-            )
-            next_active = np.zeros(n, dtype=bool)
-            for name, comp in self.components.items():
-                if comp.num_arcs == 0:
-                    record.directions[name] = "-"
-                    continue
-                record.directions[name] = direction
-                if direction == "push":
-                    sel = comp.push_select(active)
-                    per_rank = sel.per_rank(self._p)
-                    record.scanned_arcs[name] = sel.num_arcs
-                    seconds = self.rates.kernel_time(
-                        int(per_rank.max()), self.push_rate(name), self._ws
-                    )
-                    ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
-                    if sel.num_arcs:
-                        self.charge_push_messages(name, sel, ledger)
-                    fresh = ~visited[sel.dst]
-                    src_f, dst_f = sel.src[fresh], sel.dst[fresh]
-                    newly, first = np.unique(dst_f, return_index=True)
-                    parents = src_f[first]
-                else:
-                    self.charge_pull_prereq(name, ledger, active, visited)
-                    scan = comp.pull_scan(~visited, active)
-                    record.scanned_arcs[name] = scan.scanned_arcs
-                    seconds = self.rates.kernel_time(
-                        int(scan.scanned_per_rank.max()), self.pull_rate(name), self._ws
-                    )
-                    ledger.charge_compute(
-                        name, f"pull:{name}", scan.scanned_per_rank, seconds
-                    )
-                    newly, parents = scan.hit_dst, scan.hit_src
-                if newly.size:
-                    parent[newly] = parents
-                    visited[newly] = True
-                    next_active[newly] = True
-            record.newly_activated["all"] = int(np.count_nonzero(next_active))
-            iterations.append(record)
-            active = next_active
-
-        self.charge_parent_reduction(ledger)
-        return BFSRunResult(
-            root=root,
-            parent=parent,
-            iterations=iterations,
-            ledger=ledger,
-            total_seconds=ledger.total_seconds,
-            num_input_edges=self.num_input_edges,
+    def iteration_direction(self, active, visited) -> str:
+        return choose_whole_iteration_direction(
+            active, visited, self.degrees, self.config
         )
+
+    def record_activation(self, record: IterationRecord, next_active) -> None:
+        record.newly_activated["all"] = int(np.count_nonzero(next_active))
+
+    def end_run(self, ledger, tracer, parent) -> None:
+        self.charge_parent_reduction(ledger)
 
     # ------------------------------------------------------------------
     # charging helpers shared by schemes
     # ------------------------------------------------------------------
-
-    def _group_split(self, group: np.ndarray) -> tuple[float, float]:
-        sn = self.mesh.supernode_of_rank(group)
-        if group.size <= 1:
-            return 1.0, 0.0
-        if np.all(sn == sn[0]):
-            return 1.0, 0.0
-        counts = np.bincount(sn)
-        counts = counts[counts > 0]
-        worst_same = int(counts.min())
-        inter = 1.0 - (worst_same - 1) / max(group.size - 1, 1)
-        return 1.0 - inter, inter
 
     @staticmethod
     def sync_bytes(bitmap_bits: int, sparse_count: int) -> float:
@@ -201,7 +193,7 @@ class BaselineEngine:
         nbytes = float(-(-num_bits // 8))
         if sparse_count is not None:
             nbytes = self.sync_bytes(num_bits, sparse_count)
-        intra_f, inter_f = self._group_split(np.arange(self._p))
+        intra_f, inter_f = self.mesh.group_traffic_split(np.arange(self._p))
         for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
             ledger.charge_collective(
                 phase,
@@ -216,7 +208,7 @@ class BaselineEngine:
         self, phase: str, send_msgs_per_rank: np.ndarray, ledger: TrafficLedger, message_bytes: int = 8
     ) -> None:
         max_bytes = float(send_msgs_per_rank.max()) * message_bytes
-        intra_f, inter_f = self._group_split(np.arange(self._p))
+        intra_f, inter_f = self.mesh.group_traffic_split(np.arange(self._p))
         ledger.charge_collective(
             phase,
             CollectiveKind.ALLTOALLV,

@@ -145,7 +145,7 @@ class DelegatedOneDimBFS(BaselineEngine):
         if self.num_heavy == 0:
             return
         nbytes = float(self.num_heavy) * 8
-        intra_f, inter_f = self._group_split(np.arange(self._p))
+        intra_f, inter_f = self.mesh.group_traffic_split(np.arange(self._p))
         ledger.charge_collective(
             "reduce",
             CollectiveKind.REDUCE_SCATTER,

@@ -56,7 +56,7 @@ class TwoDimBFS(BaselineEngine):
         # visited/next bits (destinations): the O(|V_local| * sqrt(P)) term.
         active_per_col = -(-int(np.count_nonzero(active)) // self.mesh.cols)
         col_bytes = self.sync_bytes(self._col_vertex_bits(), active_per_col)
-        intra_f, inter_f = self._group_split(self.mesh.col_ranks(0))
+        intra_f, inter_f = self.mesh.group_traffic_split(self.mesh.col_ranks(0))
         for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
             ledger.charge_collective(
                 "other",
@@ -68,7 +68,7 @@ class TwoDimBFS(BaselineEngine):
             )
         active_per_row = -(-int(np.count_nonzero(active)) // self.mesh.rows)
         row_bytes = self.sync_bytes(self._row_vertex_bits(), active_per_row)
-        intra_f, inter_f = self._group_split(self.mesh.row_ranks(0))
+        intra_f, inter_f = self.mesh.group_traffic_split(self.mesh.row_ranks(0))
         for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
             ledger.charge_collective(
                 "other",
@@ -89,7 +89,7 @@ class TwoDimBFS(BaselineEngine):
         # All vertices are delegated: parents reduce over rows (each owner
         # collects from its row's replicas).
         row_bytes = float(self._row_vertex_bits()) * 8
-        intra_f, inter_f = self._group_split(self.mesh.row_ranks(0))
+        intra_f, inter_f = self.mesh.group_traffic_split(self.mesh.row_ranks(0))
         ledger.charge_collective(
             "reduce",
             CollectiveKind.REDUCE_SCATTER,

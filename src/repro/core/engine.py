@@ -7,11 +7,20 @@ levels match the serial reference — while every kernel and collective the
 real machine would run is charged to a :class:`~repro.runtime.ledger.TrafficLedger`
 with its exactly-counted volume.
 
-Iteration structure (§4.2): the six components execute densest-first
-(EH2EH, E2L, L2E, H2L, L2H, L2L).  Every component picks its own direction
-from the *latest* visited state; sources are always the current frontier
-(level-synchronous), destinations activated by an earlier sub-iteration of
-the same iteration are skipped by later ones.
+The engine is a facade over the component-kernel layer
+(:mod:`repro.core.kernels`): the six edge components execute as
+:class:`~repro.core.kernels.base.ComponentKernel` objects from
+:data:`~repro.core.kernels.fifteend.FIFTEEND_KERNELS` — each owning its
+push/pull kernels, compute rates, message routing, and ledger charges —
+mounted densest-first (EH2EH, E2L, L2E, H2L, L2H, L2L) on the shared
+:class:`~repro.core.kernels.scheduler.LevelSyncScheduler`.  The engine
+itself only supplies the 1.5D scheduler hooks: the per-iteration
+delegate frontier sync, the §4.2 direction policy (every component picks
+its own direction from the *latest* visited state), the per-class
+activation trace, and the §5 (optionally delayed) parent reduction.
+``ReplayBFS`` and the 1D/2D baselines mount their own kernel sets on the
+same scheduler, so all engines share one frontier/visited/parent
+semantics and one tracing shape.
 
 Communication pattern per the 1.5D scheme:
 
@@ -40,29 +49,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.balance import vertex_cut_imbalance
 from repro.core.config import BFSConfig
 from repro.core.direction import (
-    ClassState,
     choose_component_direction,
     choose_whole_iteration_direction,
 )
+from repro.core.kernels.fifteend import FifteenDContext, build_fifteend_kernels
+from repro.core.kernels.scheduler import LevelSyncScheduler, SchedulerHost
 from repro.core.metrics import BFSRunResult, IterationRecord
-from repro.core.partition import PartitionedGraph, VertexClass
-from repro.core.segmenting import plan_segmenting
+from repro.core.partition import PartitionedGraph
 from repro.core.subgraphs import COMPONENT_ORDER
-from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
 from repro.machine.network import MachineSpec
-from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.runtime.ledger import TrafficLedger
+from repro.obs.tracer import Tracer
 
 __all__ = ["DistributedBFS"]
 
-_MESSAGE_BYTES = 8
-_REMOTE_COMPONENTS = ("H2L", "L2H", "L2L")
 
-
-class DistributedBFS:
+class DistributedBFS(SchedulerHost):
     """BFS over a 1.5D-partitioned graph on a simulated machine."""
 
     def __init__(
@@ -75,7 +78,7 @@ class DistributedBFS:
         self.part = part
         self.mesh = part.mesh
         self.config = config
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer = tracer
         if machine is None:
             machine = self.mesh.machine or MachineSpec(
                 num_nodes=self.mesh.num_ranks
@@ -83,29 +86,38 @@ class DistributedBFS:
         if machine.num_nodes < self.mesh.num_ranks:
             raise ValueError("machine smaller than the mesh")
         self.machine = machine
-        self.cost = CostModel(machine)
-        self.rates = NodeKernelRates(chip=machine.chip)
-        self._ws = machine.work_scale
 
-        masks = part.class_masks()
-        self.masks = masks
-        self.class_state = ClassState(masks)
-        self.seg_plan = plan_segmenting(part, chip=machine.chip)
-        self.use_segmenting = config.segmenting and self.seg_plan.feasible
+        self.ctx = FifteenDContext(part, machine, config)
+        self.kernels = build_fifteend_kernels(self.ctx, COMPONENT_ORDER)
+        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
 
-        n = part.num_vertices
-        self._n = n
-        p = self.mesh.num_ranks
-        self._p = p
-        self._block_bytes = -(-self.mesh.block_size(n) // 8)
+        self.num_vertices = part.num_vertices
+        self.num_input_edges = part.total_arcs // 2
 
-        # Precomputed per-arc destination owners for message routing.
-        self._dst_owner: dict[str, np.ndarray] = {}
-        # group-topology splits (intra_frac, inter_frac) for the three
-        # collective scopes.
-        self._split_global = self._group_split(np.arange(p))
-        self._split_row = self._group_split(self.mesh.row_ranks(0))
-        self._split_col = self._group_split(self.mesh.col_ranks(0))
+    # Convenience views onto the kernel context (public API of old).
+    @property
+    def cost(self):
+        return self.ctx.cost
+
+    @property
+    def rates(self):
+        return self.ctx.rates
+
+    @property
+    def masks(self):
+        return self.ctx.masks
+
+    @property
+    def class_state(self):
+        return self.ctx.class_state
+
+    @property
+    def seg_plan(self):
+        return self.ctx.seg_plan
+
+    @property
+    def use_segmenting(self):
+        return self.ctx.use_segmenting
 
     # ------------------------------------------------------------------
     # public API
@@ -113,423 +125,47 @@ class DistributedBFS:
 
     def run(self, root: int) -> BFSRunResult:
         """Run one BFS from ``root``; returns the validated-shape result."""
-        n, cfg = self._n, self.config
-        if not 0 <= root < n:
-            raise ValueError(f"root {root} out of range for n={n}")
-        parent = np.full(n, -1, dtype=np.int64)
-        visited = np.zeros(n, dtype=bool)
-        active = np.zeros(n, dtype=bool)
-        parent[root] = root
-        visited[root] = True
-        active[root] = True
-
-        tracer = self.tracer
-        ledger = TrafficLedger(self.cost, tracer=tracer)
-        iterations: list[IterationRecord] = []
-
-        with tracer.span("bfs", category="bfs", root=root):
-            for it in range(cfg.max_iterations):
-                if not active.any():
-                    break
-                frontier = int(np.count_nonzero(active))
-                with tracer.span(
-                    "iteration", category="iteration", index=it, frontier=frontier
-                ):
-                    self._charge_delegate_sync(ledger, active)
-                    record = IterationRecord(index=it, frontier_size=frontier)
-                    next_active = np.zeros(n, dtype=bool)
-
-                    global_dir = None
-                    if not cfg.sub_iteration_direction:
-                        global_dir = choose_whole_iteration_direction(
-                            active, visited, self.part.degrees, cfg
-                        )
-
-                    for name in COMPONENT_ORDER:
-                        comp = self.part.components[name]
-                        if comp.num_arcs == 0:
-                            record.directions[name] = "-"
-                            continue
-                        if global_dir is None:
-                            ratios = self.class_state.measure(active, visited)
-                            direction = choose_component_direction(
-                                name, ratios, cfg
-                            )
-                        else:
-                            direction = global_dir
-                        record.directions[name] = direction
-                        with tracer.span(
-                            name,
-                            category="component",
-                            iteration=it,
-                            direction=direction,
-                        ) as csp:
-                            newly, parents = self._execute(
-                                name, comp, direction, active, visited, parent,
-                                ledger, record,
-                            )
-                            csp.add_counter(
-                                "edges", record.scanned_arcs.get(name, 0)
-                            )
-                            if record.messages.get(name, 0):
-                                csp.add_counter("messages", record.messages[name])
-                            csp.add_counter("activated", newly.size)
-                        if newly.size:
-                            parent[newly] = parents
-                            visited[newly] = True
-                            next_active[newly] = True
-
-                    for cls in ("E", "H", "L"):
-                        record.newly_activated[cls] = int(
-                            np.count_nonzero(next_active & self.masks[cls])
-                        )
-                    if not cfg.delayed_reduction:
-                        self._charge_parent_reduction(ledger)
-                    iterations.append(record)
-                    active = next_active
-
-            if cfg.delayed_reduction:
-                with tracer.span("parent_reduction", category="phase"):
-                    self._charge_parent_reduction(ledger)
-
-        return BFSRunResult(
-            root=root,
-            parent=parent,
-            iterations=iterations,
-            ledger=ledger,
-            total_seconds=ledger.total_seconds,
-            num_input_edges=self.part.total_arcs // 2,
-        )
+        return self.scheduler.run(root)
 
     # ------------------------------------------------------------------
-    # sub-iteration execution
+    # scheduler hooks (the 1.5D policy)
     # ------------------------------------------------------------------
 
-    def _execute(self, name, comp, direction, active, visited, parent, ledger, record):
-        if direction == "push":
-            return self._execute_push(name, comp, active, visited, ledger, record)
-        return self._execute_pull(name, comp, active, visited, ledger, record)
+    def begin_iteration(self, ledger, active, visited) -> None:
+        self.ctx.charge_delegate_sync(ledger, active)
 
-    @staticmethod
-    def _sync_bytes(bitmap_bits: int, sparse_count: int) -> float:
-        """Wire bytes of a frontier-set exchange: packed bitmap or sparse
-        8-byte vertex IDs, whichever is smaller (what real implementations
-        switch between)."""
-        return float(min(-(-bitmap_bits // 8), sparse_count * 8))
-
-    def _execute_push(self, name, comp, active, visited, ledger, record):
-        sel = comp.push_select(active)
-        per_rank = sel.per_rank(self._p)
-        record.scanned_arcs[name] = sel.num_arcs
-
-        # compute: scan + local update (or message generation for remote
-        # components, priced at the OCS-RMA rate).
-        if name == "EH2EH":
-            rate = self.rates.local_push_rate()
-            factor = self._eh2eh_push_balance(comp, active)
-            seconds = (
-                self.rates.kernel_time(int(per_rank.max()), rate, self._ws)
-                * factor
-            )
-        elif name in _REMOTE_COMPONENTS:
-            seconds = self.rates.kernel_time(
-                int(per_rank.max()),
-                self.rates.message_rate(self.config.num_cgs),
-                self._ws,
-            )
-        else:  # E2L, L2E: node-local scan + update
-            seconds = self.rates.kernel_time(
-                int(per_rank.max()), self.rates.local_push_rate(), self._ws
-            )
-        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
-
-        if name in _REMOTE_COMPONENTS and sel.num_arcs:
-            record.messages[name] = sel.num_arcs
-            self._charge_push_messages(name, sel, ledger)
-        # Local (or post-message) update: first writer per destination in
-        # deterministic component order wins.
-        fresh = ~visited[sel.dst]
-        if not np.any(fresh):
-            empty = np.array([], dtype=np.int64)
-            return empty, empty
-        src_f, dst_f = sel.src[fresh], sel.dst[fresh]
-        uniq, first = np.unique(dst_f, return_index=True)
-        return uniq, src_f[first]
-
-    def _execute_pull(self, name, comp, active, visited, ledger, record):
-        # prerequisites: remote state the pulling ranks need.
-        if name == "H2L":
-            # Unvisited-L state of each row, allgathered within the row
-            # (bitmap or sparse IDs, whichever is cheaper on the wire).
-            unvisited_l = int(np.count_nonzero(~visited & self.masks["L"]))
-            row_bits = self._block_bytes * 8 * self.mesh.cols
-            recv = self._sync_bytes(
-                row_bits, -(-unvisited_l // self.mesh.rows)
-            )
-            intra, inter = self._split_bytes(recv, self._split_row)
-            ledger.charge_collective(
-                name,
-                CollectiveKind.ALLGATHER,
-                participants=self.mesh.cols,
-                max_bytes_intra=intra,
-                max_bytes_inter=inter,
-                total_bytes=recv * self.mesh.cols,
-            )
-        elif name == "L2L":
-            # L2L bottom-up is query messaging, not a bitmap broadcast:
-            # owner(v) scans the arcs of each unvisited local v and sends a
-            # batched query per arc through the two-stage forwarding path;
-            # the peer answers from its local frontier bits.  Batching is
-            # why "1D partitioning methods have to drop or limit the early
-            # exit" (§2.1.2) — every arc of an unvisited vertex is queried.
-            return self._execute_pull_l2l_query(
-                comp, active, visited, ledger, record
-            )
-
-        scan = comp.pull_scan(~visited, active)
-        record.scanned_arcs[name] = scan.scanned_arcs
-        rate = self._pull_rate(name)
-        seconds = self.rates.kernel_time(
-            int(scan.scanned_per_rank.max()), rate, self._ws
+    def iteration_direction(self, active, visited) -> str | None:
+        if self.config.sub_iteration_direction:
+            return None
+        return choose_whole_iteration_direction(
+            active, visited, self.part.degrees, self.config
         )
-        ledger.charge_compute(name, f"pull:{name}", scan.scanned_per_rank, seconds)
 
-        if name in ("H2L", "L2H") and scan.num_hits:
-            # hits travel intra-row to the destination's owner (H2L) or to
-            # the column-delegate intersection rank (L2H).
-            record.messages[name] = scan.num_hits
-            send_per_rank = np.bincount(scan.hit_rank, minlength=self._p)
-            self._charge_row_alltoallv(name, send_per_rank, ledger)
-            recv_rank = self._owner_of_dst(name, scan.hit_dst, scan.hit_rank)
-            self._charge_receiver_kernel(name, recv_rank, ledger, "pull_recv")
-        return scan.hit_dst, scan.hit_src
+    def component_direction(self, name, active, visited) -> str:
+        ratios = self.ctx.class_state.measure(active, visited)
+        return choose_component_direction(name, ratios, self.config)
 
-    def _execute_pull_l2l_query(self, comp, active, visited, ledger, record):
-        """Bottom-up L2L via batched query/reply messages.
+    def record_activation(self, record: IterationRecord, next_active) -> None:
+        for cls in ("E", "H", "L"):
+            record.newly_activated[cls] = int(
+                np.count_nonzero(next_active & self.ctx.masks[cls])
+            )
 
-        By edge symmetry, the arcs stored at ``owner(v)`` with source ``v``
-        are exactly v's undirected incidence, so scanning unvisited local
-        sources is the destination-side pull view.  Each scanned arc costs
-        a query to the neighbor's owner plus a reply — twice the push
-        message size per arc, which is why pull only wins once the
-        unvisited population is well below the active one (the
-        ``cross_pull_bias`` economics).
-        """
-        sel = comp.push_select(~visited)
-        per_rank = sel.per_rank(self._p)
-        record.scanned_arcs["L2L"] = sel.num_arcs
-        seconds = self.rates.kernel_time(
-            int(per_rank.max()),
-            self.rates.message_rate(self.config.num_cgs),
-            self._ws,
-        )
-        ledger.charge_compute("L2L", "pull:L2L", per_rank, seconds)
-        if sel.num_arcs:
-            record.messages["L2L"] = 2 * sel.num_arcs
-            o_peer = self.mesh.owner_of(sel.dst, self._n)
-            # query path (two-stage forwarding) and the reply back.
-            self._charge_l2l_alltoallv(sel.rank, o_peer, ledger)
-            self._charge_receiver_kernel("L2L", o_peer, ledger, "pull_query")
-            self._charge_l2l_alltoallv(o_peer, sel.rank, ledger)
-            self._charge_receiver_kernel("L2L", sel.rank, ledger, "pull_reply")
-        hits = active[sel.dst]
-        if not np.any(hits):
-            empty = np.array([], dtype=np.int64)
-            return empty, empty
-        v_h, u_h = sel.src[hits], sel.dst[hits]
-        uniq, first = np.unique(v_h, return_index=True)
-        return uniq, u_h[first]
+    def end_iteration(self, ledger, record, active, visited, parent, next_active):
+        if not self.config.delayed_reduction:
+            self.ctx.charge_parent_reduction(ledger)
+
+    def end_run(self, ledger, tracer, parent) -> None:
+        if self.config.delayed_reduction:
+            with tracer.span("parent_reduction", category="phase"):
+                self.ctx.charge_parent_reduction(ledger)
 
     # ------------------------------------------------------------------
-    # communication charging
+    # back-compat delegates (analytic charge paths, used by cross-checks)
     # ------------------------------------------------------------------
-
-    def _charge_l2l_alltoallv(self, sender_rank, dest_rank, ledger):
-        """Two-stage forwarded global alltoallv (§4.4): sender's column to
-        the intersection rank, then the destination's row."""
-        fwd_rank = (
-            self.mesh.row_of(dest_rank) * self.mesh.cols
-            + self.mesh.col_of(sender_rank)
-        )
-        stage1 = np.bincount(sender_rank, minlength=self._p) * _MESSAGE_BYTES
-        intra, inter = self._split_bytes(float(stage1.max()), self._split_col)
-        ledger.charge_collective(
-            "L2L",
-            CollectiveKind.ALLTOALLV,
-            participants=self.mesh.rows,
-            max_bytes_intra=intra,
-            max_bytes_inter=inter,
-            total_bytes=float(stage1.sum()),
-        )
-        self._charge_receiver_kernel("L2L", fwd_rank, ledger, "forward")
-        stage2 = np.bincount(fwd_rank, minlength=self._p) * _MESSAGE_BYTES
-        intra, inter = self._split_bytes(float(stage2.max()), self._split_row)
-        ledger.charge_collective(
-            "L2L",
-            CollectiveKind.ALLTOALLV,
-            participants=self.mesh.cols,
-            max_bytes_intra=intra,
-            max_bytes_inter=inter,
-            total_bytes=float(stage2.sum()),
-        )
-
-    def _charge_push_messages(self, name, sel, ledger):
-        send_per_rank = (
-            np.bincount(sel.rank, minlength=self._p) * _MESSAGE_BYTES
-        )
-        if name in ("H2L", "L2H"):
-            self._charge_row_alltoallv(
-                name, np.bincount(sel.rank, minlength=self._p), ledger
-            )
-            recv_rank = self._owner_of_dst(name, sel.dst, sel.rank)
-            self._charge_receiver_kernel(name, recv_rank, ledger, "push_recv")
-            return
-        # L2L: two-stage forwarding through the intersection rank of the
-        # source's column and the destination's row (§4.4).
-        o_dst = self.mesh.owner_of(sel.dst, self._n)
-        self._charge_l2l_alltoallv(sel.rank, o_dst, ledger)
-        self._charge_receiver_kernel(name, o_dst, ledger, "push_recv")
 
     def _charge_row_alltoallv(self, name, send_msgs_per_rank, ledger):
-        max_bytes = float(send_msgs_per_rank.max()) * _MESSAGE_BYTES
-        intra, inter = self._split_bytes(max_bytes, self._split_row)
-        ledger.charge_collective(
-            name,
-            CollectiveKind.ALLTOALLV,
-            participants=self.mesh.cols,
-            max_bytes_intra=intra,
-            max_bytes_inter=inter,
-            total_bytes=float(send_msgs_per_rank.sum()) * _MESSAGE_BYTES,
-        )
+        self.ctx.charge_row_alltoallv(name, send_msgs_per_rank, ledger)
 
-    def _charge_receiver_kernel(self, name, recv_rank_per_msg, ledger, label):
-        counts = np.bincount(recv_rank_per_msg, minlength=self._p)
-        seconds = self.rates.kernel_time(
-            int(counts.max()), self.rates.message_rate(self.config.num_cgs), self._ws
-        )
-        ledger.charge_compute(name, f"{label}:{name}", counts, seconds)
-
-    def _charge_delegate_sync(self, ledger, active):
-        """Per-iteration frontier synchronization of delegated classes."""
-        p = self._p
-        if self.part.num_e:
-            active_e = int(np.count_nonzero(active & self.masks["E"]))
-            e_bytes = self._sync_bytes(self.part.num_e, active_e)
-            intra, inter = self._split_bytes(float(e_bytes), self._split_global)
-            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
-                ledger.charge_collective(
-                    "other", kind, p, intra, inter, total_bytes=float(e_bytes) * p
-                )
-        active_h = int(np.count_nonzero(active & self.masks["H"]))
-        if self.part.num_h and self.mesh.rows > 1:
-            col_bytes = self._sync_bytes(
-                int(self.part.col_eh_counts.max()),
-                -(-active_h // self.mesh.cols),
-            )
-            intra, inter = self._split_bytes(float(col_bytes), self._split_col)
-            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
-                ledger.charge_collective(
-                    "other",
-                    kind,
-                    self.mesh.rows,
-                    intra,
-                    inter,
-                    total_bytes=float(col_bytes) * self.mesh.rows,
-                )
-        if self.part.num_h and self.mesh.cols > 1:
-            row_bytes = self._sync_bytes(
-                int(self.part.row_eh_counts.max()),
-                -(-active_h // self.mesh.rows),
-            )
-            intra, inter = self._split_bytes(float(row_bytes), self._split_row)
-            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
-                ledger.charge_collective(
-                    "other",
-                    kind,
-                    self.mesh.cols,
-                    intra,
-                    inter,
-                    total_bytes=float(row_bytes) * self.mesh.cols,
-                )
-
-    def _charge_parent_reduction(self, ledger):
-        """Reduce delegated parent arrays to their owners (§5)."""
-        if self.part.num_e:
-            e_bytes = float(self.part.num_e) * 8
-            intra, inter = self._split_bytes(e_bytes, self._split_global)
-            ledger.charge_collective(
-                "reduce",
-                CollectiveKind.REDUCE_SCATTER,
-                self._p,
-                intra,
-                inter,
-                total_bytes=e_bytes * self._p,
-            )
-        if self.part.num_h and self.mesh.rows > 1:
-            col_bytes = float(self.part.col_eh_counts.max()) * 8
-            intra, inter = self._split_bytes(col_bytes, self._split_col)
-            ledger.charge_collective(
-                "reduce",
-                CollectiveKind.REDUCE_SCATTER,
-                self.mesh.rows,
-                intra,
-                inter,
-                total_bytes=col_bytes * self.mesh.rows,
-            )
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-
-    def _pull_rate(self, name: str) -> float:
-        """Arcs/second of the bottom-up kernel for one component.
-
-        EH2EH gets the segmented rate when the plan is feasible and
-        enabled (§4.3); components whose frontier bitmap is small (the E
-        bitmap, the column-H bits) enjoy the same LDM-resident rate;
-        components that must randomly read large local bitmaps (local L,
-        global L) pay the GLD-latency rate.
-        """
-        if name == "EH2EH":
-            return self.rates.pull_rate(self.use_segmenting)
-        if name in ("E2L", "H2L", "L2H"):
-            return self.rates.pull_rate_segmented()
-        return self.rates.pull_rate_unsegmented()
-
-    def _eh2eh_push_balance(self, comp, active) -> float:
-        """CPE load factor of the EH2EH push vertex-cut (§5)."""
-        sel_srcs = np.flatnonzero(active[comp.src_ids])
-        if sel_srcs.size == 0:
-            return 1.0
-        lens = comp.src_indptr[sel_srcs + 1] - comp.src_indptr[sel_srcs]
-        return vertex_cut_imbalance(
-            lens,
-            self.machine.chip.total_cpes,
-            edge_aware=self.config.edge_aware_balance,
-        )
-
-    def _owner_of_dst(self, name, dst, sender_rank):
-        """Rank receiving each message, by component semantics."""
-        if name == "H2L":
-            return self.mesh.owner_of(dst, self._n)
-        # L2H: messages go to the intersection rank (sender's row, the H
-        # vertex's EH-space column) where the column delegate lives.
-        sender_row = self.mesh.row_of(np.asarray(sender_rank, dtype=np.int64))
-        return sender_row * self.mesh.cols + self.part.eh_col[dst]
-
-    def _group_split(self, group: np.ndarray) -> tuple[float, float]:
-        """(intra, inter) fractions of a group collective's traffic."""
-        sn = self.mesh.supernode_of_rank(group)
-        if group.size <= 1:
-            return 1.0, 0.0
-        if np.all(sn == sn[0]):
-            return 1.0, 0.0
-        counts = np.bincount(sn)
-        counts = counts[counts > 0]
-        worst_same = int(counts.min())
-        inter = 1.0 - (worst_same - 1) / max(group.size - 1, 1)
-        return 1.0 - inter, inter
-
-    @staticmethod
-    def _split_bytes(nbytes: float, split: tuple[float, float]) -> tuple[float, float]:
-        return nbytes * split[0], nbytes * split[1]
+    def _charge_l2l_alltoallv(self, sender_rank, dest_rank, ledger):
+        self.ctx.charge_l2l_alltoallv(sender_rank, dest_rank, ledger)

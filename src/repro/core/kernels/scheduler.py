@@ -1,0 +1,178 @@
+"""The shared level-synchronous scheduler.
+
+Every traversal engine in the repo — the 1.5D ``DistributedBFS``, the
+rank-explicit ``ReplayBFS``, and the 1D/2D baselines — executes through
+one :class:`LevelSyncScheduler`.  The scheduler owns the only
+sub-iteration loop: per BFS level it prices the engine's frontier sync,
+resolves each component's direction (whole-iteration or fresh
+per-component), runs the mounted :class:`~repro.core.kernels.base.ComponentKernel`
+set densest-first inside ``component`` tracer spans, and commits
+activations so later sub-iterations of the same level see the fresh
+visited state (§4.2's freshness rule).
+
+Engines differ only through the :class:`SchedulerHost` hooks they
+implement: what a frontier sync costs, how directions are chosen, how
+activations are recorded, and what happens at iteration/run end (eager
+vs §5-delayed parent reduction, the replay's message routing and
+delegate seeding).  One loop, one frontier/visited/parent semantics,
+one tracing shape (``bfs`` → ``iteration`` → ``component`` → charge
+leaves) for every engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import BFSRunResult, IterationRecord
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.ledger import TrafficLedger
+
+__all__ = ["LevelSyncScheduler", "SchedulerHost"]
+
+
+class SchedulerHost:
+    """Hook surface an engine exposes to the scheduler.
+
+    Subclasses must set :attr:`num_vertices`, :attr:`num_input_edges`,
+    a ``config`` with ``max_iterations``, and a ``cost`` model; every
+    hook has a neutral default so a minimal engine only overrides what
+    its scheme actually charges.
+    """
+
+    #: Total vertices (size of the parent/visited/frontier arrays).
+    num_vertices: int
+    #: Undirected input edges, reported on the run result.
+    num_input_edges: int
+
+    def make_ledger(self, tracer: Tracer) -> TrafficLedger:
+        return TrafficLedger(self.cost, tracer=tracer)
+
+    def seed(self, root: int) -> None:
+        """Install the root into any engine-private state (the scheduler
+        already seeded its own parent/visited/frontier arrays)."""
+
+    def begin_iteration(self, ledger, active, visited) -> None:
+        """Price whatever the scheme exchanges before ranks may expand
+        (delegate frontier syncs, barriers)."""
+
+    def iteration_direction(self, active, visited) -> str | None:
+        """One direction for the whole iteration, or ``None`` to ask
+        :meth:`component_direction` freshly per sub-iteration."""
+        return None
+
+    def component_direction(self, name, active, visited) -> str:
+        """Direction for one component, measured against the *latest*
+        visited state (only consulted when :meth:`iteration_direction`
+        returned ``None``)."""
+        raise NotImplementedError
+
+    def record_activation(self, record: IterationRecord, next_active) -> None:
+        """Fill ``record.newly_activated`` in the scheme's granularity."""
+
+    def end_iteration(
+        self, ledger, record, active, visited, parent, next_active
+    ) -> None:
+        """Iteration-end work: eager parent reduction, or (for the
+        replay) routing buffered messages and committing activations
+        into ``visited``/``parent``/``next_active`` in place."""
+
+    def end_run(self, ledger, tracer: Tracer, parent) -> None:
+        """Run-end work (inside the ``bfs`` span): the §5 delayed parent
+        reduction, final barriers, delegate parent merges."""
+
+
+class LevelSyncScheduler:
+    """Runs a kernel set level-synchronously on behalf of a host."""
+
+    def __init__(
+        self,
+        host: SchedulerHost,
+        kernels: dict[str, "ComponentKernel"],
+        *,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.host = host
+        #: Execution order within an iteration is the mounting order —
+        #: densest (highest-degree endpoints) first for the 1.5D set.
+        self.kernels = kernels
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, root: int) -> BFSRunResult:
+        """Run one BFS from ``root``; returns the validated-shape result."""
+        host = self.host
+        n = host.num_vertices
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} out of range for n={n}")
+        parent = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        active = np.zeros(n, dtype=bool)
+        parent[root] = root
+        visited[root] = True
+        active[root] = True
+
+        tracer = self.tracer
+        ledger = host.make_ledger(tracer)
+        iterations: list[IterationRecord] = []
+        host.seed(root)
+
+        with tracer.span("bfs", category="bfs", root=root):
+            for it in range(host.config.max_iterations):
+                if not active.any():
+                    break
+                frontier = int(np.count_nonzero(active))
+                with tracer.span(
+                    "iteration", category="iteration", index=it, frontier=frontier
+                ):
+                    host.begin_iteration(ledger, active, visited)
+                    record = IterationRecord(index=it, frontier_size=frontier)
+                    next_active = np.zeros(n, dtype=bool)
+                    global_dir = host.iteration_direction(active, visited)
+
+                    for name, kernel in self.kernels.items():
+                        if kernel.num_arcs == 0:
+                            record.directions[name] = "-"
+                            continue
+                        if global_dir is None:
+                            direction = host.component_direction(
+                                name, active, visited
+                            )
+                        else:
+                            direction = global_dir
+                        record.directions[name] = direction
+                        with tracer.span(
+                            name,
+                            category="component",
+                            iteration=it,
+                            direction=direction,
+                        ) as csp:
+                            newly, parents = kernel.execute(
+                                direction, active, visited, ledger, record
+                            )
+                            csp.add_counter(
+                                "edges", record.scanned_arcs.get(name, 0)
+                            )
+                            if record.messages.get(name, 0):
+                                csp.add_counter("messages", record.messages[name])
+                            csp.add_counter("activated", newly.size)
+                        if newly.size:
+                            parent[newly] = parents
+                            visited[newly] = True
+                            next_active[newly] = True
+
+                    host.record_activation(record, next_active)
+                    host.end_iteration(
+                        ledger, record, active, visited, parent, next_active
+                    )
+                    iterations.append(record)
+                    active = next_active
+
+            host.end_run(ledger, tracer, parent)
+
+        return BFSRunResult(
+            root=root,
+            parent=parent,
+            iterations=iterations,
+            ledger=ledger,
+            total_seconds=ledger.total_seconds,
+            num_input_edges=host.num_input_edges,
+        )

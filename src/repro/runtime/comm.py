@@ -115,7 +115,14 @@ class SimCommunicator:
         gathered = (
             np.concatenate(parts) if parts else np.array([], dtype=np.int64)
         )
-        intra, inter = self._group_traffic_split(group, gathered.nbytes)
+        # Ring-allgather critical path: every rank receives the full
+        # gathered buffer, but each of its p-1 steps forwards a whole
+        # block, so the largest contribution bounds the per-link time —
+        # with skewed contributions that exceeds the received volume.
+        per_rank = max(
+            float(gathered.nbytes), max_contrib * max(group.size - 1, 0)
+        )
+        intra, inter = self._group_traffic_split(group, per_rank)
         self.ledger.charge_collective(
             phase,
             CollectiveKind.ALLGATHER,
@@ -217,19 +224,11 @@ class SimCommunicator:
     ) -> tuple[float, float]:
         """Classify a symmetric collective's per-rank volume.
 
-        When the whole group shares a supernode the traffic is intra; a
-        group spanning supernodes pays the oversubscribed rate for the
-        fraction of peers outside the busiest rank's supernode.
+        A single-rank group moves nothing; otherwise the canonical
+        supernode split lives on :meth:`ProcessMesh.group_traffic_split`
+        (shared with the analytic kernels and the baseline engines).
         """
-        sn = self.mesh.supernode_of_rank(group)
         if group.size <= 1:
             return 0.0, 0.0
-        if np.all(sn == sn[0]):
-            return bytes_per_rank, 0.0
-        # Fraction of the ring neighbours outside one's supernode, for the
-        # rank whose supernode is least represented in the group.
-        counts = np.bincount(sn)
-        counts = counts[counts > 0]
-        worst_same = counts.min()
-        inter_frac = 1.0 - (worst_same - 1) / max(group.size - 1, 1)
-        return bytes_per_rank * (1 - inter_frac), bytes_per_rank * inter_frac
+        intra_f, inter_f = self.mesh.group_traffic_split(group)
+        return bytes_per_rank * intra_f, bytes_per_rank * inter_f

@@ -119,6 +119,29 @@ class ProcessMesh:
         sn = self.supernode_of_rank(ranks)
         return bool(np.all(sn == sn[0]))
 
+    def group_traffic_split(self, group: np.ndarray | list[int]) -> tuple[float, float]:
+        """``(intra_frac, inter_frac)`` of a symmetric group collective.
+
+        The canonical supernode split used by every traffic model layer
+        (the analytic kernels, the baseline engines, and the functional
+        :class:`~repro.runtime.comm.SimCommunicator`): a group wholly
+        inside one supernode moves everything at full NIC bandwidth; a
+        group spanning supernodes pays the oversubscribed inter rate for
+        the fraction of peers outside the *least represented* rank's
+        supernode — the worst case that bounds a symmetric collective.
+        """
+        group = np.asarray(group, dtype=np.int64)
+        if group.size <= 1:
+            return 1.0, 0.0
+        sn = self.supernode_of_rank(group)
+        if np.all(sn == sn[0]):
+            return 1.0, 0.0
+        counts = np.bincount(sn)
+        counts = counts[counts > 0]
+        worst_same = int(counts.min())
+        inter = 1.0 - (worst_same - 1) / max(group.size - 1, 1)
+        return 1.0 - inter, inter
+
     def split_intra_inter(
         self, from_rank: int, bytes_to: np.ndarray
     ) -> tuple[float, float]:

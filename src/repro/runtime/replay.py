@@ -19,8 +19,14 @@ it against the main engine and the serial reference and asserts equal
 levels, plus that the communicator's measured volumes match the analytic
 ledger's for the same traversal.
 
-The replay is deliberately simple (top-down only, no cost shortcuts): its
-job is semantics, not speed.
+The replay mounts the same
+:class:`~repro.core.kernels.scheduler.LevelSyncScheduler` as every other
+engine: one :class:`_ReplayKernel` per component performs the per-rank
+sweep (judging arc activity only from each rank's own state) and buffers
+messages; the host's ``end_iteration`` hook routes them, lets owners
+apply updates, and syncs the delegate bitmaps.  The replay is
+deliberately simple (top-down only, no cost shortcuts): its job is
+semantics, not speed.
 """
 
 from __future__ import annotations
@@ -29,10 +35,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import BFSConfig
+from repro.core.kernels.base import EMPTY_ACTIVATION, ComponentKernel
+from repro.core.kernels.scheduler import LevelSyncScheduler, SchedulerHost
 from repro.core.partition import PartitionedGraph, VertexClass
 from repro.core.subgraphs import COMPONENT_ORDER
 from repro.machine.costmodel import CostModel
 from repro.machine.network import MachineSpec
+from repro.obs.tracer import Tracer
 from repro.runtime.comm import SimCommunicator
 from repro.runtime.ledger import TrafficLedger
 from repro.runtime.mesh import ProcessMesh
@@ -77,13 +87,84 @@ class ReplayResult:
     messages_sent: int
 
 
-class ReplayBFS:
+class _ReplayKernel(ComponentKernel):
+    """Per-rank top-down sweep of one component.
+
+    Reads only each rank's private state (via the host's
+    ``_active_mask`` placement proof), applies rank-local updates, and
+    buffers remote messages into the host's send queues; the host routes
+    them at iteration end, so the kernel itself activates nothing.
+    """
+
+    def __init__(self, host: "ReplayBFS", name: str) -> None:
+        self.host = host
+        self.name = name
+
+    @property
+    def num_arcs(self) -> int:
+        return self.host.part.components[self.name].num_arcs
+
+    def execute(self, direction, active, visited, ledger, record):
+        host, name = self.host, self.name
+        mesh, part, n = host.mesh, host.part, host.n
+        sent = 0
+        for r, (s_arr, d_arr) in host._rank_arcs[name].items():
+            st = host._ranks[r]
+            sel = host._active_mask(st, name, s_arr)
+            if not np.any(sel):
+                continue
+            src_sel = s_arr[sel]
+            dst_sel = d_arr[sel]
+            if name in ("EH2EH", "E2L", "L2E"):
+                # destination update is rank-local (delegate or owned)
+                for u, v in zip(src_sel.tolist(), dst_sel.tolist()):
+                    host._local_update(host._ranks, st, v, u, host._new_by_owner)
+            elif name == "H2L":
+                o_dst = mesh.owner_of(dst_sel, n)
+                if np.any(mesh.row_of(o_dst) != mesh.row_of(r)):
+                    raise AssertionError("H2L message left its row")
+                for u, v, o in zip(
+                    src_sel.tolist(), dst_sel.tolist(), o_dst.tolist()
+                ):
+                    host._row_sends.setdefault(r, {}).setdefault(o, []).append(
+                        (v, u)
+                    )
+                    sent += 1
+            elif name == "L2H":
+                # message to the intersection rank (sender's row, the
+                # H destination's delegate column) — intra-row.
+                dest = int(mesh.row_of(r)) * mesh.cols + part.eh_col[dst_sel]
+                for u, v, o in zip(
+                    src_sel.tolist(), dst_sel.tolist(), dest.tolist()
+                ):
+                    host._row_sends.setdefault(r, {}).setdefault(int(o), []).append(
+                        (v, u)
+                    )
+                    sent += 1
+            else:  # L2L, global two-stage
+                o_dst = mesh.owner_of(dst_sel, n)
+                for u, v, o in zip(
+                    src_sel.tolist(), dst_sel.tolist(), o_dst.tolist()
+                ):
+                    host._global_sends.setdefault(r, {}).setdefault(o, []).append(
+                        (v, u)
+                    )
+                    sent += 1
+        if sent:
+            record.messages[self.name] = sent
+        host._messages += sent
+        # Activations happen at iteration end, once routing delivers.
+        return EMPTY_ACTIVATION
+
+
+class ReplayBFS(SchedulerHost):
     """Top-down 1.5D BFS with genuinely per-rank state."""
 
     def __init__(
         self,
         part: PartitionedGraph,
         machine: MachineSpec | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.part = part
         self.mesh: ProcessMesh = part.mesh
@@ -92,6 +173,15 @@ class ReplayBFS:
         self.machine = machine
         self.n = part.num_vertices
         self.p = self.mesh.num_ranks
+
+        self.num_vertices = self.n
+        self.num_input_edges = part.total_arcs // 2
+        self.cost = CostModel(machine)
+        self.config = BFSConfig(max_iterations=self.n + 1)
+        self.kernels = {
+            name: _ReplayKernel(self, name) for name in COMPONENT_ORDER
+        }
+        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
 
         # Per-component arcs grouped by owning rank, precomputed once.
         self._rank_arcs: dict[str, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
@@ -127,19 +217,36 @@ class ReplayBFS:
         self._e_pos[part.e_ids] = np.arange(part.e_ids.size)
 
     # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
 
     def run(self, root: int) -> ReplayResult:
-        if not 0 <= root < self.n:
-            raise ValueError(f"root {root} out of range")
-        mesh, part = self.mesh, self.part
-        ledger = TrafficLedger(CostModel(self.machine))
-        comm = SimCommunicator(mesh, ledger)
+        result = self.scheduler.run(root)
+        return ReplayResult(
+            root=root,
+            parent=result.parent,
+            num_iterations=result.num_iterations,
+            ledger=result.ledger,
+            messages_sent=self._messages,
+        )
 
-        ranks: list[_RankState] = []
+    # ------------------------------------------------------------------
+    # scheduler hooks (the replay's SPMD machinery)
+    # ------------------------------------------------------------------
+
+    def make_ledger(self, tracer: Tracer) -> TrafficLedger:
+        ledger = TrafficLedger(self.cost, tracer=tracer)
+        self._comm = SimCommunicator(self.mesh, ledger)
+        self._messages = 0
+        return ledger
+
+    def seed(self, root: int) -> None:
+        mesh, part = self.mesh, self.part
+        self._ranks = []
         for r in range(self.p):
             lo, hi = mesh.vertex_range(r, self.n)
             col = int(mesh.col_of(r))
-            ranks.append(
+            self._ranks.append(
                 _RankState(
                     rank=r,
                     lo=lo,
@@ -156,70 +263,65 @@ class ReplayBFS:
                     ),
                 )
             )
-
         owner_root = int(mesh.owner_of(root, self.n))
-        st = ranks[owner_root]
+        st = self._ranks[owner_root]
         st.visited[root - st.lo] = True
         st.parent[root - st.lo] = root
         st.active[root - st.lo] = True
-        self._seed_delegates(ranks, np.array([root]), np.array([root]))
+        self._seed_delegates(self._ranks, np.array([root]), np.array([root]))
 
-        messages = 0
-        iterations = 0
-        for _ in range(self.n + 1):
-            # Does any rank still have frontier? (an allreduce in real MPI)
-            comm.barrier("other", np.arange(self.p))
-            if not any(
-                s.active.any() or s.e_active.any() or s.col_h_active.any()
-                for s in ranks
-            ):
-                break
-            iterations += 1
-            new_by_owner: dict[int, list[tuple[int, int]]] = {
-                r: [] for r in range(self.p)
-            }
-            messages += self._push_iteration(ranks, comm, new_by_owner)
+    def begin_iteration(self, ledger, active, visited) -> None:
+        # The frontier-empty check is an allreduce in real MPI; the
+        # scheduler's own emptiness test stands in for its result.
+        self._comm.barrier("other", np.arange(self.p))
+        self._new_by_owner = {r: [] for r in range(self.p)}
+        self._row_sends = {}
+        self._global_sends = {}
 
-            # owners apply updates and build the next frontier + delegate
-            # activation lists for the global sync.
-            newly_v, newly_p = [], []
-            for r, updates in new_by_owner.items():
-                st = ranks[r]
+    def iteration_direction(self, active, visited) -> str:
+        return "push"  # the replay is deliberately top-down only
+
+    def end_iteration(self, ledger, record, active, visited, parent, next_active):
+        ranks, comm = self._ranks, self._comm
+        new_by_owner = self._new_by_owner
+        self._route(comm, ranks, self._row_sends, new_by_owner, scope="row")
+        self._route(comm, ranks, self._global_sends, new_by_owner, scope="global")
+
+        # owners apply updates and build the next frontier + delegate
+        # activation lists for the global sync.
+        newly_v, newly_p = [], []
+        for r, updates in new_by_owner.items():
+            st = ranks[r]
+            st.active[:] = False
+            for v, pv in updates:
+                idx = v - st.lo
+                if not st.visited[idx]:
+                    st.visited[idx] = True
+                    st.parent[idx] = pv
+                    st.active[idx] = True
+                    newly_v.append(v)
+                    newly_p.append(pv)
+        # ranks whose updates were all duplicates still clear frontier
+        for st in ranks:
+            if st.rank not in new_by_owner:
                 st.active[:] = False
-                for v, pv in updates:
-                    idx = v - st.lo
-                    if not st.visited[idx]:
-                        st.visited[idx] = True
-                        st.parent[idx] = pv
-                        st.active[idx] = True
-                        newly_v.append(v)
-                        newly_p.append(pv)
-            # ranks whose updates were all duplicates still clear frontier
-            for st in ranks:
-                if st.rank not in new_by_owner:
-                    st.active[:] = False
-            self._seed_delegates(
-                ranks,
-                np.array(newly_v, dtype=np.int64),
-                np.array(newly_p, dtype=np.int64),
-                comm=comm,
-            )
+        newly = np.array(newly_v, dtype=np.int64)
+        parents = np.array(newly_p, dtype=np.int64)
+        # mirror the owner-applied updates into the scheduler's global view
+        if newly.size:
+            parent[newly] = parents
+            visited[newly] = True
+            next_active[newly] = True
+        self._seed_delegates(ranks, newly, parents, comm=comm)
 
-        parent = np.full(self.n, -1, dtype=np.int64)
-        for st in ranks:
-            parent[st.lo : st.hi] = st.parent
+    def end_run(self, ledger, tracer, parent) -> None:
+        # the terminating frontier-empty check of the SPMD loop
+        self._comm.barrier("other", np.arange(self.p))
         # delayed reduction of delegate-recorded parents
-        for st in ranks:
+        for st in self._ranks:
             for v, pv in st.delegate_parents.items():
                 if parent[v] == -1:
                     parent[v] = pv
-        return ReplayResult(
-            root=root,
-            parent=parent,
-            num_iterations=iterations,
-            ledger=ledger,
-            messages_sent=messages,
-        )
 
     # ------------------------------------------------------------------
 
@@ -231,9 +333,6 @@ class ReplayBFS:
         given (charging the ledger), then the reduced bits are installed
         into every rank's replicas.
         """
-        if newly.size == 0:
-            # still collapse frontiers consistently
-            pass
         part, mesh = self.part, self.mesh
         e_bits = np.zeros(part.num_e, dtype=bool)
         e_parents: dict[int, int] = {}
@@ -284,63 +383,6 @@ class ReplayBFS:
                         mesh.row_ranks(rr),
                         {int(r): row_bits[rr] for r in mesh.row_ranks(rr)},
                     )
-
-    def _push_iteration(self, ranks, comm, new_by_owner) -> int:
-        """One top-down sweep over all six components with real routing."""
-        part, mesh = self.part, self.mesh
-        messages = 0
-
-        # locally-applicable components first: each rank expands from the
-        # state it holds (owned frontier, E bitmap, column-H bitmap).
-        row_sends: dict[int, dict[int, list]] = {}
-        global_sends: dict[int, dict[int, list]] = {}
-
-        for name in COMPONENT_ORDER:
-            for r, (s_arr, d_arr) in self._rank_arcs[name].items():
-                st = ranks[r]
-                sel = self._active_mask(st, name, s_arr)
-                if not np.any(sel):
-                    continue
-                src_sel = s_arr[sel]
-                dst_sel = d_arr[sel]
-                if name in ("EH2EH", "E2L", "L2E"):
-                    # destination update is rank-local (delegate or owned)
-                    for u, v in zip(src_sel.tolist(), dst_sel.tolist()):
-                        self._local_update(ranks, st, v, u, new_by_owner)
-                elif name == "H2L":
-                    o_dst = mesh.owner_of(dst_sel, self.n)
-                    if np.any(mesh.row_of(o_dst) != mesh.row_of(r)):
-                        raise AssertionError("H2L message left its row")
-                    for u, v, o in zip(
-                        src_sel.tolist(), dst_sel.tolist(), o_dst.tolist()
-                    ):
-                        row_sends.setdefault(r, {}).setdefault(o, []).append((v, u))
-                        messages += 1
-                elif name == "L2H":
-                    # message to the intersection rank (sender's row, the
-                    # H destination's delegate column) — intra-row.
-                    dest = (
-                        int(mesh.row_of(r)) * mesh.cols
-                        + part.eh_col[dst_sel]
-                    )
-                    for u, v, o in zip(
-                        src_sel.tolist(), dst_sel.tolist(), dest.tolist()
-                    ):
-                        row_sends.setdefault(r, {}).setdefault(int(o), []).append(
-                            (v, u)
-                        )
-                        messages += 1
-                else:  # L2L, global two-stage
-                    o_dst = mesh.owner_of(dst_sel, self.n)
-                    for u, v, o in zip(
-                        src_sel.tolist(), dst_sel.tolist(), o_dst.tolist()
-                    ):
-                        global_sends.setdefault(r, {}).setdefault(o, []).append((v, u))
-                        messages += 1
-
-        self._route(comm, ranks, row_sends, new_by_owner, scope="row")
-        self._route(comm, ranks, global_sends, new_by_owner, scope="global")
-        return messages
 
     def _active_mask(self, st: _RankState, name: str, src: np.ndarray) -> np.ndarray:
         """Which stored arcs have an active source, *judged only from the

@@ -80,6 +80,29 @@ class TestAllgather:
         comm.allgather("t", np.arange(4), {0: np.arange(100)})
         assert ledger.comm_events[0].kind is CollectiveKind.ALLGATHER
 
+    def test_skewed_contribution_charges_ring_critical_path(self):
+        # One rank holds everything: its 800-byte block traverses p-1
+        # ring hops, so the per-link charge is 800 * 3, not the 800 bytes
+        # each rank ends up receiving.
+        comm, _, ledger = make_comm()
+        comm.allgather("t", np.arange(4), {0: np.arange(100)})
+        ev = ledger.comm_events[0]
+        assert ev.max_bytes_intra + ev.max_bytes_inter == pytest.approx(
+            800.0 * 3
+        )
+
+    def test_balanced_contributions_charge_received_volume(self):
+        # Equal 200-byte contributions: the received volume (800 bytes)
+        # dominates max_contrib * (p-1) = 600, so the charge is the
+        # gathered size — the pre-fix behaviour for the balanced case.
+        comm, _, ledger = make_comm()
+        comm.allgather(
+            "t", np.arange(4), {i: np.arange(25) for i in range(4)}
+        )
+        ev = ledger.comm_events[0]
+        assert ev.max_bytes_intra + ev.max_bytes_inter == pytest.approx(800.0)
+        assert ev.total_bytes == pytest.approx(800.0 * 4)
+
 
 class TestAllreduceOr:
     def test_or_semantics(self):

@@ -1,0 +1,60 @@
+"""Golden-record equivalence of every engine on the shared scheduler.
+
+``tests/golden/engine_golden.json`` was captured from the pre-refactor
+engines (each with its own private run loop).  These tests re-run every
+engine — the 1.5D ``DistributedBFS`` in its three config variants, the
+1D/1D-delegated/2D baselines, and the SPMD ``ReplayBFS`` — through the
+shared ``LevelSyncScheduler``/``ComponentKernel`` layer and assert the
+observable behaviour is reproduced **bit-for-bit**: per-iteration
+directions, scanned-arc counts, message counts, frontier sizes, and the
+ledger's total seconds/bytes and event counts.
+
+Floats round-trip exactly through JSON ``repr``, so ``==`` on the
+decoded structures is a bit-level comparison.  If a PR intentionally
+changes modeled behaviour, regenerate with::
+
+    PYTHONPATH=src:tests python tests/golden/generate.py
+
+and review the golden diff as the behaviour change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from golden.generate import capture
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "engine_golden.json"
+
+ENGINE_KEYS = (
+    "engine_default",
+    "engine_whole_iteration",
+    "engine_eager_reduction",
+    "baseline_1d",
+    "baseline_1d_delegated",
+    "baseline_2d",
+    "replay",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    # Round-trip through JSON so float repr and int/float identity match
+    # exactly what the golden file stores.
+    return json.loads(json.dumps(capture()))
+
+
+def test_golden_metadata_matches(golden, current):
+    for key in ("scale", "seed", "e_threshold", "h_threshold", "root"):
+        assert current[key] == golden[key]
+
+
+@pytest.mark.parametrize("key", ENGINE_KEYS)
+def test_engine_matches_golden_bit_for_bit(golden, current, key):
+    assert current[key] == golden[key]

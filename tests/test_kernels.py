@@ -1,0 +1,205 @@
+"""Unit tests for the component-kernel layer.
+
+Covers the registry contract, the scheduler's loop semantics (skip of
+empty components, §4.2 freshness of commits between sub-iterations,
+direction resolution, hook ordering), and the 1.5D kernel set mounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, DistributedBFS, partition_graph
+from repro.core.kernels import (
+    FIFTEEND_KERNELS,
+    ComponentKernel,
+    KernelRegistry,
+    LevelSyncScheduler,
+    SchedulerHost,
+)
+from repro.core.kernels.base import EMPTY_ACTIVATION
+from repro.core.subgraphs import COMPONENT_ORDER
+from repro.graph500.rmat import generate_edges
+from repro.machine.costmodel import CostModel
+from repro.machine.network import MachineSpec
+from repro.runtime.mesh import ProcessMesh
+
+
+class TestKernelRegistry:
+    def test_register_sets_name_and_resolves(self):
+        reg = KernelRegistry()
+
+        @reg.register("X2Y")
+        class XKernel(ComponentKernel):
+            @property
+            def num_arcs(self):
+                return 0
+
+            def execute(self, direction, active, visited, ledger, record):
+                return EMPTY_ACTIVATION
+
+        assert XKernel.name == "X2Y"
+        assert "X2Y" in reg
+        assert reg["X2Y"] is XKernel
+        assert reg.names() == ("X2Y",)
+
+    def test_duplicate_registration_rejected(self):
+        reg = KernelRegistry()
+
+        @reg.register("A")
+        class One(ComponentKernel):
+            @property
+            def num_arcs(self):
+                return 0
+
+            def execute(self, direction, active, visited, ledger, record):
+                return EMPTY_ACTIVATION
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @reg.register("A")
+            class Two(ComponentKernel):
+                @property
+                def num_arcs(self):
+                    return 0
+
+                def execute(self, direction, active, visited, ledger, record):
+                    return EMPTY_ACTIVATION
+
+    def test_fifteend_registry_covers_all_components(self):
+        assert set(FIFTEEND_KERNELS.names()) == set(COMPONENT_ORDER)
+
+
+class _FakeKernel(ComponentKernel):
+    """Activates a fixed set of vertices whenever its trigger is active."""
+
+    def __init__(self, name, trigger, activates, arcs=1):
+        self.name = name
+        self.trigger = trigger
+        self.activates = activates
+        self.arcs = arcs
+        self.seen_visited: list[np.ndarray] = []
+        self.directions: list[str] = []
+
+    @property
+    def num_arcs(self):
+        return self.arcs
+
+    def execute(self, direction, active, visited, ledger, record):
+        self.seen_visited.append(visited.copy())
+        self.directions.append(direction)
+        if not active[self.trigger]:
+            return EMPTY_ACTIVATION
+        newly = np.array(
+            [v for v in self.activates if not visited[v]], dtype=np.int64
+        )
+        return newly, np.full(newly.size, self.trigger, dtype=np.int64)
+
+
+class _FakeHost(SchedulerHost):
+    def __init__(self, n=8, direction="push"):
+        self.num_vertices = n
+        self.num_input_edges = n
+        self.config = BFSConfig(max_iterations=50)
+        self.cost = CostModel(MachineSpec(num_nodes=1))
+        self.direction = direction
+        self.calls: list[str] = []
+
+    def begin_iteration(self, ledger, active, visited):
+        self.calls.append("begin")
+
+    def iteration_direction(self, active, visited):
+        return self.direction
+
+    def end_iteration(self, ledger, record, active, visited, parent, next_active):
+        self.calls.append("end_iteration")
+
+    def end_run(self, ledger, tracer, parent):
+        self.calls.append("end_run")
+
+
+class TestLevelSyncScheduler:
+    def test_root_out_of_range_rejected(self):
+        host = _FakeHost()
+        sched = LevelSyncScheduler(host, {})
+        with pytest.raises(ValueError, match="out of range"):
+            sched.run(99)
+
+    def test_empty_component_skipped_with_dash(self):
+        host = _FakeHost()
+        kernels = {
+            "full": _FakeKernel("full", trigger=0, activates=[1]),
+            "empty": _FakeKernel("empty", trigger=0, activates=[2], arcs=0),
+        }
+        result = LevelSyncScheduler(host, kernels).run(0)
+        first = result.iterations[0]
+        assert first.directions["empty"] == "-"
+        assert first.directions["full"] == "push"
+        assert kernels["empty"].seen_visited == []  # never executed
+
+    def test_commits_are_visible_to_later_subiterations(self):
+        # Kernel A activates vertex 1; kernel B must observe it as
+        # visited within the SAME iteration (the §4.2 freshness rule).
+        host = _FakeHost()
+        kernels = {
+            "A": _FakeKernel("A", trigger=0, activates=[1]),
+            "B": _FakeKernel("B", trigger=0, activates=[2]),
+        }
+        LevelSyncScheduler(host, kernels).run(0)
+        assert kernels["B"].seen_visited[0][1]
+        assert not kernels["A"].seen_visited[0][1]
+
+    def test_parent_first_writer_and_levels(self):
+        host = _FakeHost()
+        kernels = {
+            "A": _FakeKernel("A", trigger=0, activates=[1, 2]),
+            "B": _FakeKernel("B", trigger=1, activates=[3]),
+        }
+        result = LevelSyncScheduler(host, kernels).run(0)
+        assert result.parent[0] == 0
+        assert result.parent[1] == 0
+        assert result.parent[3] == 1
+        assert result.num_iterations == 3  # frontier {0}, {1,2}, {3}
+
+    def test_hook_order_per_iteration(self):
+        host = _FakeHost()
+        kernels = {"A": _FakeKernel("A", trigger=0, activates=[])}
+        LevelSyncScheduler(host, kernels).run(0)
+        assert host.calls == ["begin", "end_iteration", "end_run"]
+
+    def test_component_direction_used_when_global_none(self):
+        host = _FakeHost(direction=None)
+        host.component_direction = lambda name, active, visited: "pull"
+        kernels = {"A": _FakeKernel("A", trigger=0, activates=[])}
+        result = LevelSyncScheduler(host, kernels).run(0)
+        assert kernels["A"].directions == ["pull"]
+        assert result.iterations[0].directions["A"] == "pull"
+
+
+class TestFifteenDMounting:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        src, dst = generate_edges(8, seed=3)
+        machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+        mesh = ProcessMesh(2, 2, machine=machine)
+        part = partition_graph(
+            src, dst, 256, mesh, e_threshold=64, h_threshold=8
+        )
+        return DistributedBFS(
+            part,
+            machine=machine,
+            config=BFSConfig(e_threshold=64, h_threshold=8),
+        )
+
+    def test_engine_mounts_kernels_densest_first(self, engine):
+        assert tuple(engine.kernels) == COMPONENT_ORDER
+
+    def test_kernel_arcs_cover_partition(self, engine):
+        total = sum(k.num_arcs for k in engine.kernels.values())
+        assert total == engine.part.total_arcs
+
+    def test_engine_runs_through_shared_scheduler(self, engine):
+        assert isinstance(engine.scheduler, LevelSyncScheduler)
+        root = int(np.argmax(engine.part.degrees))
+        result = engine.run(root)
+        assert result.parent[root] == root
+        assert result.total_seconds > 0
