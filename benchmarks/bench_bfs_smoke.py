@@ -1,0 +1,54 @@
+"""SCALE-10 smoke benchmark — the perf-regression baseline.
+
+Runs the pinned smoke configuration (:data:`repro.obs.report.SMOKE_CONFIG`:
+SCALE 10, 2x2 mesh, seed 7, 4 roots, thresholds 128/16 — the same shape
+the golden-equivalence suite pins) and emits the resulting
+:class:`~repro.obs.report.RunReport` as ``results/BENCH_bfs_smoke.json``.
+
+That artifact is committed as the CI baseline: the workflow's perf-gate
+job regenerates the same report via ``python -m repro report --smoke``
+and runs ``python -m repro compare`` against the committed file, failing
+the build when a tracked metric (simulated GTEPS, second/byte totals)
+regresses past the threshold.  All quantities are simulated and
+deterministic, so an unchanged model reproduces the baseline exactly.
+
+To refresh the baseline after an intentional model change::
+
+    PYTHONPATH=src python -m repro report --smoke \
+        --out benchmarks/results/BENCH_bfs_smoke.json
+"""
+
+from conftest import emit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RUN_REPORT_SCHEMA, bfs_smoke_report, compare_reports
+
+BASELINE_NAME = "BENCH_bfs_smoke.json"
+
+
+def test_bfs_smoke_report(benchmark, results_dir):
+    registry = MetricsRegistry()
+    report = benchmark.pedantic(
+        lambda: bfs_smoke_report(metrics=registry), rounds=1, iterations=1
+    )
+    assert report.schema == RUN_REPORT_SCHEMA
+    assert report.metrics["mean_gteps"] > 0
+    assert report.metrics["total_bytes"] > 0
+    # The registry the run fed must agree with the report's ledger sums.
+    assert registry.counter_total("comm_bytes") == report.metrics["total_bytes"]
+
+    # If a committed baseline exists, gate the fresh run against it
+    # *before* overwriting (the same check CI applies).
+    baseline = results_dir / BASELINE_NAME
+    if baseline.exists():
+        from repro.obs.report import RunReport
+
+        deltas = compare_reports(RunReport.load(baseline), report, 0.05)
+        regressed = [d.name for d in deltas if d.regressed]
+        assert not regressed, f"smoke metrics regressed: {regressed}"
+
+    path = report.save(baseline)
+    emit(results_dir, "bfs_smoke", report.render())
+
+    benchmark.extra_info["mean_gteps"] = round(report.metrics["mean_gteps"], 3)
+    benchmark.extra_info["report"] = str(path)

@@ -114,12 +114,15 @@ def run_15d(
     h_threshold: int | None = None,
     config_overrides: dict | None = None,
     tracer=None,
+    metrics=None,
 ) -> tuple[PartitionedGraph, BFSRunResult]:
     """Partition + run the 1.5D engine once; returns (partition, result).
 
     ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) records the run's
     span tree for the Fig. 10/11 aggregations in
-    :mod:`repro.analysis.timeline`.
+    :mod:`repro.analysis.timeline`; ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) accumulates the
+    aggregate metric families.
     """
     if e_threshold is None or h_threshold is None:
         e_threshold, h_threshold = tuned_thresholds(setup.scale)
@@ -134,7 +137,8 @@ def run_15d(
     kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
     kwargs.update(config_overrides or {})
     engine = DistributedBFS(
-        part, machine=setup.machine, config=BFSConfig(**kwargs), tracer=tracer
+        part, machine=setup.machine, config=BFSConfig(**kwargs), tracer=tracer,
+        metrics=metrics,
     )
     return part, engine.run(setup.root)
 

@@ -18,6 +18,8 @@ def format_seconds(seconds: float) -> str:
     """Human-scaled time formatting (s / ms / us / ns)."""
     if seconds < 0:
         raise ValueError("seconds must be nonnegative")
+    if seconds == 0:
+        return "0 s"
     for unit, factor in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6)):
         if seconds >= factor:
             return f"{seconds / factor:.3g} {unit}"

@@ -100,6 +100,7 @@ class BaselineEngine(SchedulerHost):
         machine: MachineSpec | None = None,
         config: BFSConfig | None = None,
         tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.mesh = mesh
         self.num_vertices = int(num_vertices)
@@ -123,7 +124,9 @@ class BaselineEngine(SchedulerHost):
             name: BaselineComponentKernel(self, name, comp)
             for name, comp in self.components.items()
         }
-        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
+        self.scheduler = LevelSyncScheduler(
+            self, self.kernels, tracer=tracer, metrics=metrics
+        )
 
     # ------------------------------------------------------------------
     # scheme hooks

@@ -6,8 +6,14 @@ Subcommands mirror the library's experiment drivers:
   N roots, validation, official statistics block).
 - ``bfs`` — one BFS with the full per-iteration trace.
 - ``sweep`` — the weak-scaling ladder (Fig. 9 data).
-- ``compare`` — the four partitioning methods side by side (Table 1).
+- ``partitions`` — the four partitioning methods side by side (Table 1).
 - ``ocs`` — the Fig. 14 bucketing microbenchmark.
+- ``report`` — run the benchmark metered and write a
+  :class:`~repro.obs.report.RunReport` JSON artifact (plus optional
+  Prometheus text and Chrome trace exports).
+- ``compare OLD NEW`` — diff two RunReport artifacts; exits non-zero
+  when a tracked metric regresses past ``--max-regress`` (the CI perf
+  gate).
 
 All output is plain text; ``--csv PATH`` additionally writes machine-
 readable results where it applies.  ``graph500`` and ``bfs`` accept
@@ -91,9 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seed", type=int, default=1)
 
-    comp = sub.add_parser(
-        "compare", parents=[common], help="partitioning methods (Table 1)"
+    parts = sub.add_parser(
+        "partitions", parents=[common], help="partitioning methods (Table 1)"
     )
+    del parts  # no extra flags beyond the common set
+
+    rep = sub.add_parser(
+        "report", parents=[common],
+        help="metered benchmark run -> RunReport JSON artifact",
+    )
+    rep.add_argument("--roots", type=int, default=8, help="BFS roots")
+    rep.add_argument("--out", metavar="PATH", default=None,
+                     help="RunReport JSON destination (default: stdout render)")
+    rep.add_argument("--prometheus", metavar="PATH", default=None,
+                     help="also write Prometheus text exposition of the registry")
+    rep.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
+    rep.add_argument("--smoke", action="store_true",
+                     help="use the pinned SCALE-10 smoke configuration "
+                          "(ignores --scale/--mesh/--seed; matches the "
+                          "committed CI baseline)")
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff two RunReport artifacts (perf-regression gate)"
+    )
+    cmp_p.add_argument("old", metavar="OLD", help="baseline RunReport JSON")
+    cmp_p.add_argument("new", metavar="NEW", help="candidate RunReport JSON")
+    cmp_p.add_argument("--max-regress", default="5%",
+                       help="allowed relative regression, e.g. 5%% or 0.05")
 
     ocs = sub.add_parser("ocs", help="OCS-RMA microbenchmark (Fig. 14)")
     ocs.add_argument("--mib", type=int, default=32, help="stream size in MiB")
@@ -217,7 +247,7 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
+def _cmd_partitions(args) -> int:
     from repro.analysis.experiments import run_partition_comparison
     from repro.analysis.reporting import ascii_table
 
@@ -238,6 +268,81 @@ def _cmd_compare(args) -> int:
         title=f"partitioning methods at SCALE {args.scale}, {rows * cols} nodes:",
     ))
     return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.graph500.driver import run_graph500
+    from repro.obs.metrics import MetricsRegistry, to_prometheus_text
+    from repro.obs.report import bfs_smoke_report, report_from_graph500
+    from repro.obs.tracer import Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer() if args.trace else None
+    if args.smoke:
+        report = bfs_smoke_report(metrics=registry, tracer=tracer)
+    else:
+        rows, cols = args.mesh
+        g500 = run_graph500(
+            args.scale, rows, cols,
+            seed=args.seed, num_roots=args.roots,
+            e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+            tracer=tracer, metrics=registry,
+        )
+        report = report_from_graph500(
+            g500,
+            context=dict(
+                scale=args.scale, rows=rows, cols=cols, seed=args.seed,
+                num_roots=args.roots,
+                e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+            ),
+        )
+    if args.out:
+        path = report.save(args.out)
+        print(f"run report: {path}")
+    else:
+        print(report.render())
+    if args.prometheus:
+        from pathlib import Path
+
+        prom = Path(args.prometheus)
+        prom.parent.mkdir(parents=True, exist_ok=True)
+        prom.write_text(to_prometheus_text(registry))
+        print(f"prometheus: {args.prometheus}")
+    if tracer is not None and not _write_trace(tracer, args.trace):
+        return 1
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.obs.report import (
+        RunReport,
+        compare_reports,
+        parse_threshold,
+        render_compare,
+    )
+
+    try:
+        threshold = parse_threshold(args.max_regress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        old = RunReport.load(args.old)
+        new = RunReport.load(args.new)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load RunReport: {exc}", file=sys.stderr)
+        return 2
+    if old.fingerprint != new.fingerprint:
+        print(
+            "warning: config fingerprints differ "
+            f"({old.fingerprint[:12]}... vs {new.fingerprint[:12]}...); "
+            "metric deltas may reflect configuration, not code",
+            file=sys.stderr,
+        )
+    deltas = compare_reports(old, new, threshold)
+    print(render_compare(deltas, max_regress=threshold,
+                         title=f"{args.old} -> {args.new}"))
+    return 1 if any(d.regressed for d in deltas) else 0
 
 
 def _cmd_ocs(args) -> int:
@@ -308,6 +413,8 @@ _COMMANDS = {
     "graph500": _cmd_graph500,
     "bfs": _cmd_bfs,
     "sweep": _cmd_sweep,
+    "partitions": _cmd_partitions,
+    "report": _cmd_report,
     "compare": _cmd_compare,
     "ocs": _cmd_ocs,
     "sssp": _cmd_sssp,

@@ -42,7 +42,12 @@ record the run as a span tree — one span per BFS, per iteration, and per
 executed component sub-iteration (annotated with the chosen direction,
 frontier size, and scanned-arc/message counters) with every ledger charge
 as a leaf underneath.  The default :data:`~repro.obs.tracer.NULL_TRACER`
-is a no-op and leaves results bit-identical to an untraced run.
+is a no-op and leaves results bit-identical to an untraced run.  Pass
+``metrics=`` a :class:`~repro.obs.metrics.MetricsRegistry` to additionally
+accumulate the aggregate metric families (see
+:mod:`repro.core.kernels.scheduler` and :mod:`repro.runtime.ledger`);
+build a :class:`~repro.obs.report.RunReport` artifact from the run with
+:func:`repro.obs.report.report_from_bfs`.
 """
 
 from __future__ import annotations
@@ -74,11 +79,13 @@ class DistributedBFS(SchedulerHost):
         machine: MachineSpec | None = None,
         config: BFSConfig = BFSConfig(),
         tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.part = part
         self.mesh = part.mesh
         self.config = config
         self.tracer = tracer
+        self.metrics = metrics
         if machine is None:
             machine = self.mesh.machine or MachineSpec(
                 num_nodes=self.mesh.num_ranks
@@ -89,7 +96,9 @@ class DistributedBFS(SchedulerHost):
 
         self.ctx = FifteenDContext(part, machine, config)
         self.kernels = build_fifteend_kernels(self.ctx, COMPONENT_ORDER)
-        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
+        self.scheduler = LevelSyncScheduler(
+            self, self.kernels, tracer=tracer, metrics=metrics
+        )
 
         self.num_vertices = part.num_vertices
         self.num_input_edges = part.total_arcs // 2

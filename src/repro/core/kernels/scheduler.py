@@ -17,6 +17,16 @@ vs §5-delayed parent reduction, the replay's message routing and
 delegate seeding).  One loop, one frontier/visited/parent semantics,
 one tracing shape (``bfs`` → ``iteration`` → ``component`` → charge
 leaves) for every engine.
+
+Because the loop is shared, so is the metrics surface: pass ``metrics=``
+a :class:`~repro.obs.metrics.MetricsRegistry` and every engine emits the
+same aggregate families with zero per-engine code — per-component
+``edges_scanned``/``messages``/``activated``/``subiterations`` counters
+labeled by ``component`` and chosen ``direction``, ``subiteration_skips``
+for empty components, ``direction_mode`` (fresh per-component vs whole
+iteration) freshness counts, the ``frontier_size`` histogram, and —
+through the ledger the registry is shared with — the comm/compute
+families documented in :mod:`repro.runtime.ledger`.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.metrics import BFSRunResult, IterationRecord
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.ledger import TrafficLedger
 
@@ -44,8 +55,8 @@ class SchedulerHost:
     #: Undirected input edges, reported on the run result.
     num_input_edges: int
 
-    def make_ledger(self, tracer: Tracer) -> TrafficLedger:
-        return TrafficLedger(self.cost, tracer=tracer)
+    def make_ledger(self, tracer: Tracer, metrics=NULL_METRICS) -> TrafficLedger:
+        return TrafficLedger(self.cost, tracer=tracer, metrics=metrics)
 
     def seed(self, root: int) -> None:
         """Install the root into any engine-private state (the scheduler
@@ -90,12 +101,14 @@ class LevelSyncScheduler:
         kernels: dict[str, "ComponentKernel"],
         *,
         tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.host = host
         #: Execution order within an iteration is the mounting order —
         #: densest (highest-degree endpoints) first for the 1.5D set.
         self.kernels = kernels
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def run(self, root: int) -> BFSRunResult:
         """Run one BFS from ``root``; returns the validated-shape result."""
@@ -111,15 +124,19 @@ class LevelSyncScheduler:
         active[root] = True
 
         tracer = self.tracer
-        ledger = host.make_ledger(tracer)
+        metrics = self.metrics
+        ledger = host.make_ledger(tracer, metrics)
         iterations: list[IterationRecord] = []
         host.seed(root)
 
+        metrics.counter("bfs_runs").inc()
         with tracer.span("bfs", category="bfs", root=root):
             for it in range(host.config.max_iterations):
                 if not active.any():
                     break
                 frontier = int(np.count_nonzero(active))
+                metrics.counter("iterations").inc()
+                metrics.histogram("frontier_size").observe(frontier)
                 with tracer.span(
                     "iteration", category="iteration", index=it, frontier=frontier
                 ):
@@ -127,10 +144,17 @@ class LevelSyncScheduler:
                     record = IterationRecord(index=it, frontier_size=frontier)
                     next_active = np.zeros(n, dtype=bool)
                     global_dir = host.iteration_direction(active, visited)
+                    metrics.counter(
+                        "direction_mode",
+                        mode="fresh" if global_dir is None else "whole",
+                    ).inc()
 
                     for name, kernel in self.kernels.items():
                         if kernel.num_arcs == 0:
                             record.directions[name] = "-"
+                            metrics.counter(
+                                "subiteration_skips", component=name
+                            ).inc()
                             continue
                         if global_dir is None:
                             direction = host.component_direction(
@@ -154,6 +178,15 @@ class LevelSyncScheduler:
                             if record.messages.get(name, 0):
                                 csp.add_counter("messages", record.messages[name])
                             csp.add_counter("activated", newly.size)
+                        labels = dict(component=name, direction=direction)
+                        metrics.counter("subiterations", **labels).inc()
+                        metrics.counter("edges_scanned", **labels).inc(
+                            record.scanned_arcs.get(name, 0)
+                        )
+                        metrics.counter("messages", **labels).inc(
+                            record.messages.get(name, 0)
+                        )
+                        metrics.counter("activated", **labels).inc(newly.size)
                         if newly.size:
                             parent[newly] = parents
                             visited[newly] = True
@@ -175,4 +208,5 @@ class LevelSyncScheduler:
             ledger=ledger,
             total_seconds=ledger.total_seconds,
             num_input_edges=host.num_input_edges,
+            metrics=metrics,
         )

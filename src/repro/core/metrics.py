@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.graph500.spec import Graph500Problem
 from repro.machine.costmodel import CollectiveKind
+from repro.obs.metrics import NULL_METRICS
 from repro.runtime.ledger import TrafficLedger
 
 __all__ = ["IterationRecord", "BFSRunResult"]
@@ -55,6 +56,9 @@ class BFSRunResult:
     #: Undirected input edges traversed-equivalent (Graph500 counts the
     #: generator's edge count regardless of duplicates).
     num_input_edges: int
+    #: The :class:`~repro.obs.metrics.MetricsRegistry` the run fed
+    #: (:data:`~repro.obs.metrics.NULL_METRICS` when unmetered).
+    metrics: object = field(default=NULL_METRICS, repr=False, compare=False)
 
     @property
     def num_iterations(self) -> int:

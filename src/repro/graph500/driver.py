@@ -42,6 +42,7 @@ from repro.graph500.validate import validate_bfs_result
 from repro.graphs.csr import build_csr, symmetrize_edges
 from repro.graphs.stats import degrees_from_edges
 from repro.machine.network import MachineSpec
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.mesh import ProcessMesh
 
@@ -129,6 +130,9 @@ class Graph500Report:
     teps: np.ndarray
     validated: bool
     results: list[BFSRunResult] = field(repr=False, default_factory=list)
+    #: Metrics registry shared by every root's BFS (``NULL_METRICS``
+    #: when the run was not metered).
+    metrics: object = field(default=NULL_METRICS, repr=False)
 
     @property
     def time_stats(self) -> Graph500Stats:
@@ -189,6 +193,7 @@ def run_graph500(
     validate: bool = True,
     construction_seconds: float | None = None,
     tracer: Tracer | None = None,
+    metrics=None,
 ) -> Graph500Report:
     """Run the full Graph500 benchmark flow on the simulated machine.
 
@@ -211,6 +216,11 @@ def run_graph500(
         Optional :class:`~repro.obs.tracer.Tracer` recording the run as a
         span tree (generate / construction / per-root BFS + validate /
         harvest); export it with :mod:`repro.obs.export`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+        the aggregate metric families across every root's BFS; build a
+        :class:`~repro.obs.report.RunReport` from the returned report
+        with :func:`repro.obs.report.report_from_graph500`.
     """
     from repro.analysis.experiments import tuned_thresholds
 
@@ -247,7 +257,8 @@ def run_graph500(
     kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
     kwargs.update(config_overrides or {})
     engine = DistributedBFS(
-        part, machine=machine, config=BFSConfig(**kwargs), tracer=tracer
+        part, machine=machine, config=BFSConfig(**kwargs), tracer=tracer,
+        metrics=metrics,
     )
 
     degrees = part.degrees
@@ -285,6 +296,7 @@ def run_graph500(
             teps=np.array(teps),
             validated=all_valid,
             results=results,
+            metrics=metrics if metrics is not None else NULL_METRICS,
         )
 
 

@@ -13,6 +13,13 @@ from the host), with per-span counters for bytes, messages, and edges.
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
   ``chrome://tracing`` or Perfetto), flame-style text summary, CSV of
   span aggregates.
+- :mod:`repro.obs.metrics` — the aggregate side: a ``MetricsRegistry``
+  of labeled counters, gauges, exponential-bucket histograms, and
+  per-rank vectors fed automatically from the ledger, communicator, and
+  scheduler choke points; Prometheus text and JSON exporters.
+- :mod:`repro.obs.report` — the ``RunReport`` artifact (schema-versioned
+  JSON with a config fingerprint) and the ``compare_reports``
+  perf-regression gate behind ``python -m repro compare``.
 
 Produce a trace by passing ``tracer=Tracer()`` to
 :class:`~repro.core.engine.DistributedBFS`,
@@ -29,6 +36,20 @@ from repro.obs.export import (
     write_chrome_trace,
     write_span_csv,
 )
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    registry_to_json,
+    to_prometheus_text,
+)
+from repro.obs.report import (
+    RunReport,
+    bfs_smoke_report,
+    compare_reports,
+    report_from_bfs,
+    report_from_graph500,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -36,6 +57,16 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "to_prometheus_text",
+    "registry_to_json",
+    "RunReport",
+    "report_from_bfs",
+    "report_from_graph500",
+    "bfs_smoke_report",
+    "compare_reports",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_flame",

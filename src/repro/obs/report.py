@@ -1,0 +1,455 @@
+"""RunReport: the canonical JSON artifact of one measured run.
+
+A :class:`RunReport` captures everything needed to compare two runs of
+the simulator without re-running either: a schema version, a sha256
+fingerprint of the configuration that produced it, the tracked scalar
+metrics (GTEPS, simulated second/byte totals), the ledger breakdowns
+behind Figs. 10/11, the per-iteration direction matrix (§4.2), and
+summaries of the registry's histogram/vector families (Fig. 13 balance).
+
+Builders exist for each entry point that produces results:
+
+- :func:`report_from_bfs` — one :class:`~repro.core.metrics.BFSRunResult`
+  (``DistributedBFS.run`` or any baseline engine);
+- :func:`report_from_graph500` — a full
+  :class:`~repro.graph500.driver.Graph500Report` (all sampled roots);
+- :func:`bfs_smoke_report` — the pinned SCALE-10 smoke configuration the
+  benchmark suite and the CI perf gate share, so ``benchmarks/results/
+  BENCH_bfs_smoke.json`` and a fresh ``python -m repro report`` candidate
+  are comparable artifact-for-artifact.
+
+:func:`compare_reports` diffs two reports metric by metric with a
+direction-of-goodness per metric (GTEPS up is good, seconds/bytes down
+is good) and flags any change past a relative threshold — the
+``python -m repro compare OLD NEW --max-regress 5%`` CI gate.
+
+All simulated quantities are deterministic for a fixed configuration, so
+an exact-equality compare of two reports from the same config is
+expected to pass; the threshold exists to absorb intentional model
+changes and cross-version floating-point drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "HIGHER_BETTER",
+    "RunReport",
+    "MetricDelta",
+    "config_fingerprint",
+    "report_from_bfs",
+    "report_from_graph500",
+    "bfs_smoke_report",
+    "compare_reports",
+    "render_compare",
+    "parse_threshold",
+]
+
+#: Schema tag embedded in every artifact; bump the suffix on breaking
+#: layout changes so ``RunReport.load`` can reject incompatible files.
+RUN_REPORT_SCHEMA = "repro.run_report/1"
+
+#: Tracked metrics where an *increase* is an improvement.  Everything
+#: else (seconds, bytes, iterations) regresses when it grows.
+HIGHER_BETTER = frozenset({"gteps", "harmonic_mean_teps", "mean_gteps"})
+
+
+def config_fingerprint(payload: dict) -> str:
+    """sha256 over the canonical JSON of a configuration mapping.
+
+    Key order and whitespace are normalized so two reports built from
+    the same logical configuration fingerprint identically regardless of
+    construction order.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+@dataclass
+class RunReport:
+    """One run's comparable artifact (see module docstring)."""
+
+    #: Human label for the run ("bfs", "graph500", "bfs_smoke", ...).
+    name: str
+    #: sha256 of the producing configuration (:func:`config_fingerprint`).
+    fingerprint: str
+    #: The fingerprinted configuration itself: scale/mesh/seed/engine
+    #: plus every :class:`~repro.core.config.BFSConfig` field.
+    context: dict
+    #: Tracked scalar metrics; the compare gate diffs these.
+    metrics: dict
+    #: Ledger breakdowns: ``seconds_by_phase``, ``comm_seconds_by_kind``,
+    #: ``bytes_by_kind``, ``time_by_category``.
+    breakdowns: dict = field(default_factory=dict)
+    #: Per-iteration ``{component: direction}`` matrix (§4.2 trace).
+    directions: list = field(default_factory=list)
+    #: Histogram/vector family summaries keyed ``name{label=value,...}``.
+    summaries: dict = field(default_factory=dict)
+    schema: str = RUN_REPORT_SCHEMA
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        schema = data.get("schema", "")
+        family = RUN_REPORT_SCHEMA.rsplit("/", 1)[0]
+        if not str(schema).startswith(family):
+            raise ValueError(
+                f"not a RunReport artifact (schema={schema!r}, "
+                f"expected {family}/*)"
+            )
+        fields = {
+            k: data[k]
+            for k in (
+                "name", "fingerprint", "context", "metrics",
+                "breakdowns", "directions", "summaries", "schema",
+            )
+            if k in data
+        }
+        return cls(**fields)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII summary of the tracked metrics and breakdowns."""
+        from repro.analysis.reporting import ascii_table, format_seconds
+
+        def fmt(key: str, value: float) -> str:
+            if (key.endswith("seconds") or key.endswith("_time")
+                    or key.startswith("seconds.")):
+                return format_seconds(float(value))
+            return f"{value:.6g}"
+
+        rows = [(k, fmt(k, v)) for k, v in sorted(self.metrics.items())]
+        out = [
+            f"RunReport {self.name!r}  schema={self.schema}",
+            f"fingerprint: {self.fingerprint[:16]}...",
+            ascii_table(("metric", "value"), rows, title="tracked metrics"),
+        ]
+        for title, table in sorted(self.breakdowns.items()):
+            rows = [(k, fmt("seconds" if "seconds" in title or "category" in title
+                            else "", v))
+                    for k, v in sorted(table.items())]
+            out.append(ascii_table(("key", "value"), rows, title=title))
+        if self.directions:
+            components = sorted({c for row in self.directions for c in row})
+            rows = [
+                [i] + [row.get(c, "-") for c in components]
+                for i, row in enumerate(self.directions)
+            ]
+            out.append(
+                ascii_table(
+                    ["iter"] + components, rows,
+                    title="direction matrix (per iteration)",
+                )
+            )
+        return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+
+def _kind_name(kind) -> str:
+    return getattr(kind, "value", str(kind))
+
+
+def _breakdowns_from(ledger, result=None) -> dict:
+    out = {
+        "seconds_by_phase": {
+            k: float(v) for k, v in ledger.seconds_by_phase().items()
+        },
+        "comm_seconds_by_kind": {
+            _kind_name(k): float(v)
+            for k, v in ledger.comm_seconds_by_kind().items()
+        },
+        "bytes_by_kind": {
+            _kind_name(k): float(v) for k, v in ledger.bytes_by_kind().items()
+        },
+    }
+    if result is not None:
+        out["time_by_category"] = {
+            k: float(v) for k, v in result.time_by_category().items()
+        }
+    return out
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _registry_summaries(registry) -> dict:
+    """Histogram/vector summaries from a live registry (empty for NULL)."""
+    from repro.obs.metrics import MetricsRegistry
+
+    if not isinstance(registry, MetricsRegistry):
+        return {}
+    out: dict = {}
+    for name, kind in sorted(registry.families().items()):
+        if kind not in ("histogram", "vector"):
+            continue
+        for labels, inst in registry.samples(name):
+            out[name + _label_suffix(labels)] = inst.summary()
+    return out
+
+
+def _direction_matrix(iterations) -> list:
+    return [dict(rec.directions) for rec in iterations]
+
+
+def _context(name: str, config=None, extra: dict | None = None) -> dict:
+    ctx = {"engine": name}
+    if config is not None:
+        ctx["config"] = asdict(config)
+    ctx.update(extra or {})
+    return ctx
+
+
+def report_from_bfs(
+    result,
+    *,
+    name: str = "bfs",
+    config=None,
+    context: dict | None = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from one BFS run.
+
+    ``result`` is a :class:`~repro.core.metrics.BFSRunResult`; ``config``
+    the :class:`~repro.core.config.BFSConfig` it ran under (folded into
+    the fingerprint); ``context`` any extra fingerprinted facts (scale,
+    mesh shape, seed, root).
+    """
+    ledger = result.ledger
+    ctx = _context(name, config, context)
+    metrics = {
+        "gteps": float(result.simulated_gteps()),
+        "total_seconds": float(result.total_seconds),
+        "comm_seconds": float(ledger.comm_seconds),
+        "compute_seconds": float(ledger.compute_seconds),
+        "imbalance_seconds": float(ledger.imbalance_seconds),
+        "total_bytes": float(ledger.total_bytes),
+        "iterations": float(result.num_iterations),
+    }
+    for phase, secs in ledger.seconds_by_phase().items():
+        metrics[f"seconds.{phase}"] = float(secs)
+    return RunReport(
+        name=name,
+        fingerprint=config_fingerprint(ctx),
+        context=ctx,
+        metrics=metrics,
+        breakdowns=_breakdowns_from(ledger, result),
+        directions=_direction_matrix(result.iterations),
+        summaries=_registry_summaries(result.metrics),
+    )
+
+
+def report_from_graph500(
+    report,
+    *,
+    name: str = "graph500",
+    config=None,
+    context: dict | None = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from a full Graph500 benchmark run.
+
+    Scalar metrics carry the spec's aggregates (harmonic-mean TEPS, the
+    time statistics) plus ledger totals summed over every root's BFS;
+    breakdowns and the direction matrix come from the first root (the
+    per-root shapes are near-identical on an R-MAT graph).
+    """
+    ctx = _context(name, config, context)
+    ctx.setdefault("scale", int(report.problem.scale))
+    ctx.setdefault("num_nodes", int(report.num_nodes))
+    ctx.setdefault("num_roots", int(report.roots.size))
+    t = report.time_stats
+    metrics = {
+        "harmonic_mean_teps": float(report.harmonic_mean_teps),
+        "mean_gteps": float(report.mean_gteps),
+        "construction_seconds": float(report.construction_seconds),
+        "mean_time": float(t.mean),
+        "max_time": float(t.maximum),
+    }
+    breakdowns: dict = {}
+    directions: list = []
+    if report.results:
+        total = {
+            "total_seconds": 0.0, "comm_seconds": 0.0,
+            "compute_seconds": 0.0, "imbalance_seconds": 0.0,
+            "total_bytes": 0.0, "iterations": 0.0,
+        }
+        for res in report.results:
+            total["total_seconds"] += res.total_seconds
+            total["comm_seconds"] += res.ledger.comm_seconds
+            total["compute_seconds"] += res.ledger.compute_seconds
+            total["imbalance_seconds"] += res.ledger.imbalance_seconds
+            total["total_bytes"] += res.ledger.total_bytes
+            total["iterations"] += res.num_iterations
+        metrics.update({k: float(v) for k, v in total.items()})
+        first = report.results[0]
+        breakdowns = _breakdowns_from(first.ledger, first)
+        directions = _direction_matrix(first.iterations)
+    return RunReport(
+        name=name,
+        fingerprint=config_fingerprint(ctx),
+        context=ctx,
+        metrics=metrics,
+        breakdowns=breakdowns,
+        directions=directions,
+        summaries=_registry_summaries(report.metrics),
+    )
+
+
+#: The pinned smoke configuration the bench suite, the CI gate, and the
+#: committed ``benchmarks/results/BENCH_bfs_smoke.json`` baseline share.
+SMOKE_CONFIG = dict(
+    scale=10, rows=2, cols=2, seed=7, num_roots=4,
+    e_threshold=128, h_threshold=16,
+)
+
+
+def bfs_smoke_report(*, metrics=None, tracer=None, **overrides) -> RunReport:
+    """Run the SCALE-10 Graph500 smoke and report it.
+
+    One shared entry point so the benchmark's emitted baseline and the
+    CLI's fresh candidate are built from byte-identical configuration —
+    any metric delta between them is a real behavior change, not a
+    harness mismatch.
+    """
+    from repro.graph500.driver import run_graph500
+
+    cfg = dict(SMOKE_CONFIG)
+    cfg.update(overrides)
+    g500 = run_graph500(
+        cfg["scale"], cfg["rows"], cfg["cols"],
+        seed=cfg["seed"], num_roots=cfg["num_roots"],
+        e_threshold=cfg["e_threshold"], h_threshold=cfg["h_threshold"],
+        tracer=tracer, metrics=metrics,
+    )
+    return report_from_graph500(g500, name="bfs_smoke", context=cfg)
+
+
+# ----------------------------------------------------------------------
+# the compare gate
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One tracked metric's change between two reports."""
+
+    name: str
+    old: float
+    new: float
+    #: Relative change ``(new - old) / old`` (``inf`` from a zero base).
+    rel: float
+    #: Whether an increase in this metric is an improvement.
+    higher_better: bool
+    #: True when the change crosses the threshold in the bad direction.
+    regressed: bool
+
+    @property
+    def improved(self) -> bool:
+        good = self.rel > 0 if self.higher_better else self.rel < 0
+        return good and self.rel != 0.0
+
+
+def parse_threshold(text: str) -> float:
+    """``"5%"`` -> 0.05; ``"0.05"`` -> 0.05.  Must be nonnegative."""
+    text = str(text).strip()
+    if text.endswith("%"):
+        value = float(text[:-1]) / 100.0
+    else:
+        value = float(text)
+    if value < 0:
+        raise ValueError(f"threshold must be nonnegative, got {text!r}")
+    return value
+
+
+def compare_reports(
+    old: RunReport, new: RunReport, max_regress: float = 0.05
+) -> list[MetricDelta]:
+    """Diff the tracked metrics of two reports.
+
+    Only metrics present in both are compared (a renamed or added metric
+    is not a regression).  A metric regresses when it moves past
+    ``max_regress`` relative change in its bad direction: down for the
+    :data:`HIGHER_BETTER` set, up for everything else.
+    """
+    deltas = []
+    for key in sorted(set(old.metrics) & set(new.metrics)):
+        o, n = float(old.metrics[key]), float(new.metrics[key])
+        if o == 0.0:
+            rel = 0.0 if n == 0.0 else float("inf")
+        else:
+            rel = (n - o) / abs(o)
+        higher_better = key in HIGHER_BETTER
+        bad = -rel if higher_better else rel
+        deltas.append(
+            MetricDelta(
+                name=key, old=o, new=n, rel=rel,
+                higher_better=higher_better,
+                regressed=bad > max_regress,
+            )
+        )
+    return deltas
+
+
+def render_compare(
+    deltas: list[MetricDelta],
+    *,
+    max_regress: float = 0.05,
+    title: str = "RunReport comparison",
+) -> str:
+    """ASCII table of metric deltas with a pass/fail verdict line."""
+    from repro.analysis.reporting import ascii_table
+
+    rows = []
+    for d in deltas:
+        if d.rel == float("inf"):
+            pct = "+inf"
+        else:
+            pct = f"{d.rel * 100:+.2f}%"
+        status = "REGRESSED" if d.regressed else ("improved" if d.improved else "ok")
+        arrow = "higher=better" if d.higher_better else "lower=better"
+        rows.append((d.name, f"{d.old:.6g}", f"{d.new:.6g}", pct, arrow, status))
+    table = ascii_table(
+        ("metric", "old", "new", "delta", "direction", "status"),
+        rows, title=title,
+    )
+    bad = [d for d in deltas if d.regressed]
+    if bad:
+        verdict = (
+            f"FAIL: {len(bad)} metric(s) regressed past "
+            f"{max_regress * 100:g}%: " + ", ".join(d.name for d in bad)
+        )
+    elif not deltas:
+        verdict = "PASS: no common tracked metrics to compare"
+    else:
+        verdict = f"PASS: {len(deltas)} metric(s) within {max_regress * 100:g}%"
+    return table + "\n" + verdict

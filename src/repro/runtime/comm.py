@@ -15,6 +15,13 @@ Tracing: attach a :class:`~repro.obs.tracer.Tracer` to the ledger
 leaf span — named after the collective kind, tagged with its phase and
 participant count, carrying a ``bytes`` counter — under whatever span
 the caller has open.
+
+Metrics: attach a :class:`~repro.obs.metrics.MetricsRegistry` to the
+ledger (``metrics=``) and the skewed collectives additionally record
+their *per-rank* byte vectors — ``alltoallv`` the bytes each rank sends,
+``allgather`` each rank's contribution — into the ``rank_bytes`` vector
+family and the ``rank_byte_load`` histogram (both labeled by ``phase``),
+the per-rank communication-imbalance data behind Fig. 13.
 """
 
 from __future__ import annotations
@@ -91,6 +98,12 @@ class SimCommunicator:
             max_bytes_inter=float(per_rank_inter.max(initial=0.0)),
             total_bytes=total_bytes,
         )
+        per_rank_sent = per_rank_intra + per_rank_inter
+        m = self.ledger.metrics
+        m.vector("rank_bytes", phase=phase).add(per_rank_sent)
+        m.histogram("rank_byte_load", phase=phase).observe_many(
+            per_rank_sent[group]
+        )
         return {
             j: (np.concatenate(parts) if parts else np.array([], dtype=np.int64))
             for j, parts in recv.items()
@@ -108,9 +121,11 @@ class SimCommunicator:
         group = np.asarray(group, dtype=np.int64)
         parts = []
         max_contrib = 0.0
+        contrib_bytes = np.zeros(self.mesh.num_ranks, dtype=np.float64)
         for i in sorted(int(g) for g in group):
             buf = np.asarray(contributions.get(i, np.array([], dtype=np.int64)))
             parts.append(buf)
+            contrib_bytes[i] = float(buf.nbytes)
             max_contrib = max(max_contrib, float(buf.nbytes))
         gathered = (
             np.concatenate(parts) if parts else np.array([], dtype=np.int64)
@@ -130,6 +145,11 @@ class SimCommunicator:
             max_bytes_intra=intra,
             max_bytes_inter=inter,
             total_bytes=float(gathered.nbytes) * group.size,
+        )
+        m = self.ledger.metrics
+        m.vector("rank_bytes", phase=phase).add(contrib_bytes)
+        m.histogram("rank_byte_load", phase=phase).observe_many(
+            contrib_bytes[group]
         )
         return gathered
 

@@ -18,6 +18,18 @@ span — simulated duration equal to the priced seconds, a ``bytes``
 counter for collectives and an ``items`` counter for kernels — so span
 aggregates reproduce the ledger's totals exactly.  The default
 :data:`~repro.obs.tracer.NULL_TRACER` makes this a no-op.
+
+When a :class:`~repro.obs.metrics.MetricsRegistry` is attached
+(``metrics=``), the same charges feed the aggregate metric families:
+``comm_seconds``/``comm_bytes``/``comm_events`` counters labeled by
+``phase`` and collective ``kind``, ``compute_seconds``/``compute_items``/
+``compute_events``/``imbalance_seconds`` counters labeled by ``phase``
+and ``kernel``, a ``collective_bytes`` exponential histogram per kind,
+and the ``rank_items`` per-rank work vector plus ``rank_load`` histogram
+behind Fig. 13's load-balance analysis.  Registry counter totals equal
+the ledger's totals exactly (``counter_total("comm_bytes") ==
+total_bytes``); the default :data:`~repro.obs.metrics.NULL_METRICS`
+makes this a no-op too.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.machine.costmodel import CollectiveKind, CostModel
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["CommEvent", "ComputeEvent", "TrafficLedger"]
@@ -68,6 +81,8 @@ class TrafficLedger:
     compute_events: list[ComputeEvent] = field(default_factory=list)
     #: Observability sink; every charge mirrors into a leaf span.
     tracer: object = field(default=NULL_TRACER, repr=False, compare=False)
+    #: Aggregate sink; every charge feeds the labeled metric families.
+    metrics: object = field(default=NULL_METRICS, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # recording
@@ -113,6 +128,11 @@ class TrafficLedger:
             kind=kind.value,
             participants=participants,
         )
+        m = self.metrics
+        m.counter("comm_seconds", phase=phase, kind=kind.value).inc(seconds)
+        m.counter("comm_bytes", phase=phase, kind=kind.value).inc(event.total_bytes)
+        m.counter("comm_events", phase=phase, kind=kind.value).inc()
+        m.histogram("collective_bytes", kind=kind.value).observe(event.total_bytes)
         return seconds
 
     def charge_compute(
@@ -156,6 +176,15 @@ class TrafficLedger:
                       "imbalance_seconds": imbalance},
             phase=phase,
         )
+        m = self.metrics
+        m.counter("compute_seconds", phase=phase, kernel=kernel).inc(seconds_for_max)
+        m.counter("compute_items", phase=phase, kernel=kernel).inc(total_items)
+        m.counter("compute_events", phase=phase, kernel=kernel).inc()
+        m.counter("imbalance_seconds", phase=phase).inc(imbalance)
+        if items.size:
+            # Per-rank work: exact totals (Fig. 13 balance) + histogram.
+            m.vector("rank_items", phase=phase).add(items)
+            m.histogram("rank_load", phase=phase).observe_many(items)
         return seconds_for_max
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.core.partition import PartitionedGraph, VertexClass
 from repro.core.subgraphs import COMPONENT_ORDER
 from repro.machine.costmodel import CostModel
 from repro.machine.network import MachineSpec
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import Tracer
 from repro.runtime.comm import SimCommunicator
 from repro.runtime.ledger import TrafficLedger
@@ -165,6 +166,7 @@ class ReplayBFS(SchedulerHost):
         part: PartitionedGraph,
         machine: MachineSpec | None = None,
         tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.part = part
         self.mesh: ProcessMesh = part.mesh
@@ -181,7 +183,9 @@ class ReplayBFS(SchedulerHost):
         self.kernels = {
             name: _ReplayKernel(self, name) for name in COMPONENT_ORDER
         }
-        self.scheduler = LevelSyncScheduler(self, self.kernels, tracer=tracer)
+        self.scheduler = LevelSyncScheduler(
+            self, self.kernels, tracer=tracer, metrics=metrics
+        )
 
         # Per-component arcs grouped by owning rank, precomputed once.
         self._rank_arcs: dict[str, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
@@ -234,8 +238,8 @@ class ReplayBFS(SchedulerHost):
     # scheduler hooks (the replay's SPMD machinery)
     # ------------------------------------------------------------------
 
-    def make_ledger(self, tracer: Tracer) -> TrafficLedger:
-        ledger = TrafficLedger(self.cost, tracer=tracer)
+    def make_ledger(self, tracer: Tracer, metrics=NULL_METRICS) -> TrafficLedger:
+        ledger = TrafficLedger(self.cost, tracer=tracer, metrics=metrics)
         self._comm = SimCommunicator(self.mesh, ledger)
         self._messages = 0
         return ledger

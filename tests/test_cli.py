@@ -58,8 +58,8 @@ class TestCommands:
         assert "weak scaling" in out
         assert "100%" in out
 
-    def test_compare(self, capsys):
-        rc = main(["compare", "--scale", "10", "--mesh", "2x2"])
+    def test_partitions(self, capsys):
+        rc = main(["partitions", "--scale", "10", "--mesh", "2x2"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "1.5D (ours)" in out
@@ -131,3 +131,90 @@ class TestCommands:
         rc = main(["sssp", "--scale", "9", "--mesh", "2x2", "--delta", "0.25"])
         assert rc == 0
         assert "delta = 0.25" in capsys.readouterr().out
+
+
+class TestReportAndCompare:
+    def _write_report(self, path, **kwargs):
+        args = ["report", "--scale", "10", "--mesh", "2x2", "--seed", "7",
+                "--roots", "2", "--out", str(path)]
+        for flag, value in kwargs.items():
+            args += [f"--{flag}", str(value)]
+        return main(args)
+
+    def test_report_writes_artifact(self, capsys, tmp_path):
+        from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+
+        out = tmp_path / "run.json"
+        rc = self._write_report(out)
+        assert rc == 0
+        report = RunReport.load(out)
+        assert report.schema == RUN_REPORT_SCHEMA
+        assert report.metrics["total_bytes"] > 0
+        assert report.directions  # per-iteration matrix present
+
+    def test_report_stdout_render(self, capsys):
+        rc = main(["report", "--scale", "10", "--mesh", "2x2", "--roots", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tracked metrics" in out
+        assert "direction matrix" in out
+
+    def test_report_prometheus_export(self, capsys, tmp_path):
+        out = tmp_path / "run.json"
+        prom = tmp_path / "metrics.prom"
+        rc = self._write_report(out, prometheus=prom)
+        assert rc == 0
+        text = prom.read_text()
+        assert "# TYPE repro_comm_bytes_total counter" in text
+        assert text.endswith("\n")
+
+    def test_report_smoke_matches_helper(self, capsys, tmp_path):
+        from repro.obs.report import bfs_smoke_report
+
+        out = tmp_path / "smoke.json"
+        rc = main(["report", "--smoke", "--out", str(out)])
+        assert rc == 0
+        from repro.obs.metrics import MetricsRegistry
+
+        expected = bfs_smoke_report(metrics=MetricsRegistry())
+        import json
+
+        assert json.loads(out.read_text()) == expected.to_dict()
+
+    def test_compare_identical_exits_zero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert self._write_report(a) == 0
+        assert self._write_report(b) == 0
+        rc = main(["compare", str(a), str(b), "--max-regress", "5%"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_compare_regression_exits_nonzero(self, capsys, tmp_path):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "bad.json"
+        assert self._write_report(a) == 0
+        doc = json.loads(a.read_text())
+        doc["metrics"]["total_seconds"] *= 1.25
+        b.write_text(json.dumps(doc))
+        rc = main(["compare", str(a), str(b), "--max-regress", "5%"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSED" in out
+        assert "total_seconds" in out
+
+    def test_compare_bad_artifact_exits_two(self, capsys, tmp_path):
+        bogus = tmp_path / "nope.json"
+        bogus.write_text('{"schema": "something.else/9"}')
+        rc = main(["compare", str(bogus), str(bogus)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_bad_threshold_exits_two(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        assert self._write_report(a) == 0
+        rc = main(["compare", str(a), str(a), "--max-regress", "nope"])
+        assert rc == 2
+        rc = main(["compare", str(a), str(a), "--max-regress=-3%"])
+        assert rc == 2

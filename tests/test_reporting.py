@@ -19,6 +19,10 @@ class TestFormatSeconds:
         assert format_seconds(2.5e-6) == "2.5 us"
         assert format_seconds(2.5e-9) == "2.5 ns"
 
+    def test_exact_zero_is_seconds(self):
+        # 0.0 used to fall through every unit and render as "0 ns".
+        assert format_seconds(0.0) == "0 s"
+
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             format_seconds(-1.0)
