@@ -115,6 +115,10 @@ def run_15d(
     config_overrides: dict | None = None,
     tracer=None,
     metrics=None,
+    faults=None,
+    checkpoint_every: int = 0,
+    max_restarts: int = 3,
+    recovery_mode: str = "restart",
 ) -> tuple[PartitionedGraph, BFSRunResult]:
     """Partition + run the 1.5D engine once; returns (partition, result).
 
@@ -123,6 +127,13 @@ def run_15d(
     :mod:`repro.analysis.timeline`; ``metrics`` (a
     :class:`~repro.obs.metrics.MetricsRegistry`) accumulates the
     aggregate metric families.
+
+    ``faults`` (a spec string, :class:`~repro.resilience.faults.FaultPlan`
+    or ready injector) plus ``checkpoint_every``/``max_restarts``/
+    ``recovery_mode`` run the BFS under
+    :func:`repro.resilience.recovery.run_with_recovery`; the recovery
+    accounting is attached to the result as ``result.resilient``
+    (a :class:`~repro.resilience.recovery.ResilientRunResult`).
     """
     if e_threshold is None or h_threshold is None:
         e_threshold, h_threshold = tuned_thresholds(setup.scale)
@@ -140,7 +151,34 @@ def run_15d(
         part, machine=setup.machine, config=BFSConfig(**kwargs), tracer=tracer,
         metrics=metrics,
     )
-    return part, engine.run(setup.root)
+    if faults is None and not checkpoint_every:
+        return part, engine.run(setup.root)
+
+    from repro.resilience import (
+        FaultInjector,
+        LevelCheckpointer,
+        RecoveryPolicy,
+        run_with_recovery,
+    )
+
+    injector = None
+    if faults is not None:
+        injector = (
+            faults
+            if isinstance(faults, FaultInjector)
+            else FaultInjector(faults, rng=np.random.default_rng(setup.scale))
+        )
+        injector.plan.validate(setup.mesh.num_ranks)
+    recovered = run_with_recovery(
+        engine,
+        setup.root,
+        faults=injector if injector is not None else None,
+        checkpointer=LevelCheckpointer(every=checkpoint_every, mesh=setup.mesh),
+        policy=RecoveryPolicy(max_restarts=max_restarts, mode=recovery_mode),
+    )
+    result = recovered.result
+    result.resilient = recovered
+    return part, result
 
 
 # ----------------------------------------------------------------------

@@ -162,8 +162,8 @@ class BaselineEngine(SchedulerHost):
     # scheduler hooks
     # ------------------------------------------------------------------
 
-    def run(self, root: int) -> BFSRunResult:
-        return self.scheduler.run(root)
+    def run(self, root: int, **resilience) -> BFSRunResult:
+        return self.scheduler.run(root, **resilience)
 
     def begin_iteration(self, ledger, active, visited) -> None:
         self.charge_iteration_sync(ledger, active, visited)

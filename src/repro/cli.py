@@ -14,6 +14,13 @@ Subcommands mirror the library's experiment drivers:
 - ``compare OLD NEW`` — diff two RunReport artifacts; exits non-zero
   when a tracked metric regresses past ``--max-regress`` (the CI perf
   gate).
+- ``chaos`` — run a fault matrix against the fault-free golden run and
+  assert every recovered parent tree matches it (the CI chaos gate).
+
+``graph500`` and ``bfs`` accept the resilience flags ``--faults SPEC``
+(see :mod:`repro.resilience.faults` for the grammar), ``--checkpoint-every
+N``, ``--max-restarts`` and ``--recovery-mode``; a malformed spec exits 2
+with a usage message.
 
 All output is plain text; ``--csv PATH`` additionally writes machine-
 readable results where it applies.  ``graph500`` and ``bfs`` accept
@@ -48,6 +55,27 @@ def _mesh_arg(value: str) -> tuple[int, int]:
     return out
 
 
+def _faults_arg(value: str):
+    """Parse and validate a ``--faults`` spec at argument time, so a
+    malformed spec exits 2 with usage instead of a mid-run traceback."""
+    from repro.resilience.faults import FaultSpecError, parse_fault_spec
+
+    try:
+        return parse_fault_spec(value)
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+#: The CI chaos gate's default scenarios: one of each recoverable
+#: failure mode (crash + checkpoint restore, dropped message retries,
+#: straggler slowdown).
+DEFAULT_CHAOS_MATRIX = (
+    "crash:rank=1,iter=2",
+    "drop:phase=L2L,count=2,retries=2",
+    "straggler:rank=0,factor=4,phase=EH2EH",
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,12 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_help = "write a Chrome trace_event JSON of the run to PATH"
 
-    g5 = sub.add_parser("graph500", parents=[common], help="official benchmark flow")
+    resil = argparse.ArgumentParser(add_help=False)
+    resil.add_argument(
+        "--faults", type=_faults_arg, default=None, metavar="SPEC",
+        help="inject faults, e.g. 'crash:rank=3,iter=2;drop:phase=L2L,count=2'",
+    )
+    resil.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot BFS state every N levels (0 = off)",
+    )
+    resil.add_argument("--max-restarts", type=int, default=3)
+    resil.add_argument(
+        "--recovery-mode", choices=("restart", "degrade"), default="restart"
+    )
+
+    g5 = sub.add_parser(
+        "graph500", parents=[common, resil], help="official benchmark flow"
+    )
     g5.add_argument("--roots", type=int, default=8, help="BFS roots (64 = conforming)")
     g5.add_argument("--no-validate", action="store_true")
     g5.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
 
-    bfs = sub.add_parser("bfs", parents=[common], help="one traced BFS run")
+    bfs = sub.add_parser("bfs", parents=[common, resil], help="one traced BFS run")
     bfs.add_argument("--root", type=int, default=None, help="default: max-degree hub")
     bfs.add_argument(
         "--timeline",
@@ -125,6 +169,26 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--max-regress", default="5%",
                        help="allowed relative regression, e.g. 5%% or 0.05")
 
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="fault matrix vs. the fault-free golden run (CI chaos gate)",
+    )
+    chaos.add_argument("--roots", type=int, default=4, help="BFS roots per run")
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="use the pinned SCALE-10 smoke configuration "
+             "(ignores --scale/--mesh/--seed)",
+    )
+    chaos.add_argument(
+        "--matrix", default=None, metavar="SPECS",
+        help="'|'-separated fault specs (default: one crash, one drop, "
+             "one straggler scenario)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence during faulty runs",
+    )
+
     ocs = sub.add_parser("ocs", help="OCS-RMA microbenchmark (Fig. 14)")
     ocs.add_argument("--mib", type=int, default=32, help="stream size in MiB")
     ocs.add_argument("--seed", type=int, default=1)
@@ -171,9 +235,22 @@ def _cmd_graph500(args) -> int:
         h_threshold=args.h_threshold,
         validate=not args.no_validate,
         tracer=tracer,
+        faults=args.faults,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts,
+        recovery_mode=args.recovery_mode,
     )
     print(report.render())
     print(f"harmonic_mean_GTEPS: {report.mean_gteps:.3f}")
+    if report.resilience is not None:
+        r = report.resilience
+        print(
+            "resilience: "
+            f"{r.get('faults_fired', 0)} faults fired, "
+            f"{r['crashes']} crash(es), {r['restarts']} restart(s), "
+            f"{r.get('retries', 0)} retried transfer(s), "
+            f"wasted {r['wasted_seconds']:.3e} s"
+        )
     wrote = _write_trace(tracer, args.trace) if tracer is not None else True
     return 0 if report.validated and wrote else 1
 
@@ -194,6 +271,10 @@ def _cmd_bfs(args) -> int:
     part, res = run_15d(
         setup, e_threshold=args.e_threshold, h_threshold=args.h_threshold,
         tracer=tracer,
+        faults=args.faults,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts,
+        recovery_mode=args.recovery_mode,
     )
     print(f"classes: {part.class_sizes()}")
     print(ascii_table(
@@ -207,6 +288,9 @@ def _cmd_bfs(args) -> int:
     print(f"visited: {res.num_visited:,}/{setup.num_vertices:,} | "
           f"time: {format_seconds(res.total_seconds)} | "
           f"sim GTEPS: {setup.num_edges / res.total_seconds / 1e9:.1f}")
+    resilient = getattr(res, "resilient", None)
+    if resilient is not None:
+        print(f"resilience: {resilient.summary()}")
     if args.timeline:
         from repro.analysis.timeline import render_timeline
 
@@ -409,6 +493,77 @@ def _cmd_sssp(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.analysis.reporting import ascii_table
+    from repro.graph500.driver import run_graph500
+    from repro.obs.report import SMOKE_CONFIG
+    from repro.resilience.faults import parse_fault_spec
+
+    if args.smoke:
+        cfg = dict(SMOKE_CONFIG)
+    else:
+        rows, cols = args.mesh
+        cfg = dict(
+            scale=args.scale, rows=rows, cols=cols, seed=args.seed,
+            num_roots=args.roots,
+            e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+        )
+    if args.matrix:
+        scenarios = tuple(s.strip() for s in args.matrix.split("|") if s.strip())
+    else:
+        scenarios = DEFAULT_CHAOS_MATRIX
+    # Parse every spec up front: a malformed matrix exits 2 before any run.
+    plans = [parse_fault_spec(s) for s in scenarios]
+
+    def _run(**resilience):
+        return run_graph500(
+            cfg["scale"], cfg["rows"], cfg["cols"],
+            seed=cfg["seed"], num_roots=cfg["num_roots"],
+            e_threshold=cfg["e_threshold"], h_threshold=cfg["h_threshold"],
+            **resilience,
+        )
+
+    golden = _run()
+    golden_time = float(golden.bfs_times.sum())
+    print(
+        f"golden: SCALE {cfg['scale']}, {cfg['rows']}x{cfg['cols']} mesh, "
+        f"{golden.roots.size} roots, validated={golden.validated}"
+    )
+    all_ok = golden.validated
+    rows_out = []
+    for spec, plan in zip(scenarios, plans):
+        rep = _run(faults=plan, checkpoint_every=args.checkpoint_every)
+        match = (
+            np.array_equal(rep.roots, golden.roots)
+            and len(rep.results) == len(golden.results)
+            and all(
+                np.array_equal(a.parent, b.parent)
+                for a, b in zip(golden.results, rep.results)
+            )
+        )
+        all_ok &= match and rep.validated
+        r = rep.resilience or {}
+        overhead = 100.0 * (float(rep.bfs_times.sum()) / golden_time - 1.0)
+        rows_out.append([
+            spec,
+            r.get("faults_fired", 0),
+            r.get("crashes", 0),
+            r.get("restarts", 0),
+            r.get("retries", 0),
+            f"{overhead:+.1f}%",
+            "MATCH" if match else "DIFF",
+            "ok" if rep.validated else "FAIL",
+        ])
+    print(ascii_table(
+        ["fault spec", "fired", "crashes", "restarts", "retries",
+         "overhead", "parents", "validated"],
+        rows_out,
+        title="chaos matrix vs. fault-free golden run:",
+    ))
+    print("chaos gate:", "PASS" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
 _COMMANDS = {
     "graph500": _cmd_graph500,
     "bfs": _cmd_bfs,
@@ -418,12 +573,24 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "ocs": _cmd_ocs,
     "sssp": _cmd_sssp,
+    "chaos": _cmd_chaos,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    from repro.resilience import CheckpointError, FaultSpecError, RecoveryError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except (FaultSpecError, CheckpointError, RecoveryError) as exc:
+        # Resilience misconfiguration (bad spec, rank out of range,
+        # corrupt snapshot, restart budget exhausted) is a usage-class
+        # error: report it and exit 2 like argparse does, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"usage: see `{parser.prog} {args.command} --help`", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -132,9 +132,14 @@ class DistributedBFS(SchedulerHost):
     # public API
     # ------------------------------------------------------------------
 
-    def run(self, root: int) -> BFSRunResult:
-        """Run one BFS from ``root``; returns the validated-shape result."""
-        return self.scheduler.run(root)
+    def run(self, root: int, **resilience) -> BFSRunResult:
+        """Run one BFS from ``root``; returns the validated-shape result.
+
+        ``**resilience`` forwards the scheduler's optional
+        ``faults``/``checkpointer``/``resume`` hooks (see
+        :meth:`~repro.core.kernels.scheduler.LevelSyncScheduler.run`).
+        """
+        return self.scheduler.run(root, **resilience)
 
     # ------------------------------------------------------------------
     # scheduler hooks (the 1.5D policy)

@@ -62,6 +62,14 @@ class SchedulerHost:
         """Install the root into any engine-private state (the scheduler
         already seeded its own parent/visited/frontier arrays)."""
 
+    def restore(self, root: int, parent, visited, active) -> None:
+        """Rebuild engine-private state from checkpointed global arrays
+        (called instead of :meth:`seed` when resuming mid-traversal).
+        Stateless hosts — every analytic engine — need nothing: their
+        per-iteration inputs are exactly the global arrays the scheduler
+        restored.  The replay engine overrides this to re-shard the
+        arrays into its per-rank state."""
+
     def begin_iteration(self, ledger, active, visited) -> None:
         """Price whatever the scheme exchanges before ranks may expand
         (delegate frontier syncs, barriers)."""
@@ -110,96 +118,97 @@ class LevelSyncScheduler:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
-    def run(self, root: int) -> BFSRunResult:
-        """Run one BFS from ``root``; returns the validated-shape result."""
+    def run(
+        self,
+        root: int,
+        *,
+        faults=None,
+        checkpointer=None,
+        resume=None,
+    ) -> BFSRunResult:
+        """Run one BFS from ``root``; returns the validated-shape result.
+
+        Resilience hooks (all default-off, leaving the fault-free path
+        bit-identical):
+
+        faults:
+            A :class:`~repro.resilience.faults.FaultInjector`.  It is
+            installed on the run's ledger (the charge choke point every
+            engine shares) and consulted at each iteration boundary, so
+            crash faults abort the run with a
+            :class:`~repro.resilience.faults.RankCrashError` annotated
+            with the partial ledger and completed-iteration count.
+        checkpointer:
+            A :class:`~repro.resilience.checkpoint.LevelCheckpointer`;
+            after each level whose index matches the cadence, the
+            committed ``parent``/``visited``/``active`` state and the
+            per-iteration records are snapshotted and the write cost is
+            charged to the ledger as a ``checkpoint``-phase collective.
+        resume:
+            A :class:`~repro.resilience.checkpoint.Checkpoint` to
+            continue from instead of seeding from scratch: the scheduler
+            restores the snapshot's arrays and records, charges the
+            restore broadcast, asks the host to
+            :meth:`~SchedulerHost.restore` its private state, and
+            re-enters the level loop at the snapshot's next iteration.
+        """
         host = self.host
         n = host.num_vertices
         if not 0 <= root < n:
             raise ValueError(f"root {root} out of range for n={n}")
-        parent = np.full(n, -1, dtype=np.int64)
-        visited = np.zeros(n, dtype=bool)
-        active = np.zeros(n, dtype=bool)
-        parent[root] = root
-        visited[root] = True
-        active[root] = True
 
         tracer = self.tracer
         metrics = self.metrics
         ledger = host.make_ledger(tracer, metrics)
-        iterations: list[IterationRecord] = []
-        host.seed(root)
+        if faults is not None and faults.enabled:
+            ledger.faults = faults
 
-        metrics.counter("bfs_runs").inc()
+        if resume is None:
+            parent = np.full(n, -1, dtype=np.int64)
+            visited = np.zeros(n, dtype=bool)
+            active = np.zeros(n, dtype=bool)
+            parent[root] = root
+            visited[root] = True
+            active[root] = True
+            iterations: list[IterationRecord] = []
+            start_it = 0
+            host.seed(root)
+            metrics.counter("bfs_runs").inc()
+        else:
+            if resume.root != root:
+                raise ValueError(
+                    f"resume snapshot is for root {resume.root}, not {root}"
+                )
+            parent = resume.parent.copy()
+            visited = resume.visited.copy()
+            active = resume.active.copy()
+            iterations = list(resume.records)
+            start_it = resume.iteration + 1
+            host.restore(root, parent, visited, active)
+            if checkpointer is not None and resume.iteration >= 0:
+                checkpointer.charge_restore(ledger, resume)
+            metrics.counter("bfs_resumes").inc()
+
         with tracer.span("bfs", category="bfs", root=root):
-            for it in range(host.config.max_iterations):
-                if not active.any():
-                    break
-                frontier = int(np.count_nonzero(active))
-                metrics.counter("iterations").inc()
-                metrics.histogram("frontier_size").observe(frontier)
-                with tracer.span(
-                    "iteration", category="iteration", index=it, frontier=frontier
-                ):
-                    host.begin_iteration(ledger, active, visited)
-                    record = IterationRecord(index=it, frontier_size=frontier)
-                    next_active = np.zeros(n, dtype=bool)
-                    global_dir = host.iteration_direction(active, visited)
-                    metrics.counter(
-                        "direction_mode",
-                        mode="fresh" if global_dir is None else "whole",
-                    ).inc()
+            try:
+                self._level_loop(
+                    host, ledger, parent, visited, active, iterations,
+                    start_it, root, faults, checkpointer,
+                )
+            except Exception as exc:
+                # Annotate a simulated crash with what the aborted
+                # attempt cost, then let the recovery policy take over.
+                from repro.resilience.faults import RankCrashError
 
-                    for name, kernel in self.kernels.items():
-                        if kernel.num_arcs == 0:
-                            record.directions[name] = "-"
-                            metrics.counter(
-                                "subiteration_skips", component=name
-                            ).inc()
-                            continue
-                        if global_dir is None:
-                            direction = host.component_direction(
-                                name, active, visited
-                            )
-                        else:
-                            direction = global_dir
-                        record.directions[name] = direction
-                        with tracer.span(
-                            name,
-                            category="component",
-                            iteration=it,
-                            direction=direction,
-                        ) as csp:
-                            newly, parents = kernel.execute(
-                                direction, active, visited, ledger, record
-                            )
-                            csp.add_counter(
-                                "edges", record.scanned_arcs.get(name, 0)
-                            )
-                            if record.messages.get(name, 0):
-                                csp.add_counter("messages", record.messages[name])
-                            csp.add_counter("activated", newly.size)
-                        labels = dict(component=name, direction=direction)
-                        metrics.counter("subiterations", **labels).inc()
-                        metrics.counter("edges_scanned", **labels).inc(
-                            record.scanned_arcs.get(name, 0)
-                        )
-                        metrics.counter("messages", **labels).inc(
-                            record.messages.get(name, 0)
-                        )
-                        metrics.counter("activated", **labels).inc(newly.size)
-                        if newly.size:
-                            parent[newly] = parents
-                            visited[newly] = True
-                            next_active[newly] = True
-
-                    host.record_activation(record, next_active)
-                    host.end_iteration(
-                        ledger, record, active, visited, parent, next_active
-                    )
-                    iterations.append(record)
-                    active = next_active
-
+                if isinstance(exc, RankCrashError):
+                    exc.ledger = ledger
+                    exc.completed_iterations = len(iterations)
+                if faults is not None:
+                    faults.end_run()
+                raise
             host.end_run(ledger, tracer, parent)
+        if faults is not None:
+            faults.end_run()
 
         return BFSRunResult(
             root=root,
@@ -210,3 +219,89 @@ class LevelSyncScheduler:
             num_input_edges=host.num_input_edges,
             metrics=metrics,
         )
+
+    def _level_loop(
+        self, host, ledger, parent, visited, active, iterations,
+        start_it, root, faults, checkpointer,
+    ) -> None:
+        """The shared per-level loop (see :meth:`run` for the contract)."""
+        n = host.num_vertices
+        tracer = self.tracer
+        metrics = self.metrics
+        for it in range(start_it, host.config.max_iterations):
+            if faults is not None:
+                faults.begin_iteration(it)
+            if not active.any():
+                break
+            frontier = int(np.count_nonzero(active))
+            metrics.counter("iterations").inc()
+            metrics.histogram("frontier_size").observe(frontier)
+            with tracer.span(
+                "iteration", category="iteration", index=it, frontier=frontier
+            ):
+                host.begin_iteration(ledger, active, visited)
+                record = IterationRecord(index=it, frontier_size=frontier)
+                next_active = np.zeros(n, dtype=bool)
+                global_dir = host.iteration_direction(active, visited)
+                metrics.counter(
+                    "direction_mode",
+                    mode="fresh" if global_dir is None else "whole",
+                ).inc()
+
+                for name, kernel in self.kernels.items():
+                    if kernel.num_arcs == 0:
+                        record.directions[name] = "-"
+                        metrics.counter(
+                            "subiteration_skips", component=name
+                        ).inc()
+                        continue
+                    if global_dir is None:
+                        direction = host.component_direction(
+                            name, active, visited
+                        )
+                    else:
+                        direction = global_dir
+                    record.directions[name] = direction
+                    with tracer.span(
+                        name,
+                        category="component",
+                        iteration=it,
+                        direction=direction,
+                    ) as csp:
+                        newly, parents = kernel.execute(
+                            direction, active, visited, ledger, record
+                        )
+                        csp.add_counter(
+                            "edges", record.scanned_arcs.get(name, 0)
+                        )
+                        if record.messages.get(name, 0):
+                            csp.add_counter("messages", record.messages[name])
+                        csp.add_counter("activated", newly.size)
+                    labels = dict(component=name, direction=direction)
+                    metrics.counter("subiterations", **labels).inc()
+                    metrics.counter("edges_scanned", **labels).inc(
+                        record.scanned_arcs.get(name, 0)
+                    )
+                    metrics.counter("messages", **labels).inc(
+                        record.messages.get(name, 0)
+                    )
+                    metrics.counter("activated", **labels).inc(newly.size)
+                    if newly.size:
+                        parent[newly] = parents
+                        visited[newly] = True
+                        next_active[newly] = True
+
+                host.record_activation(record, next_active)
+                host.end_iteration(
+                    ledger, record, active, visited, parent, next_active
+                )
+                iterations.append(record)
+                active = next_active
+
+            # Level committed: snapshot at the consistency point the
+            # level-synchronous structure guarantees.
+            if checkpointer is not None and checkpointer.due(it):
+                checkpointer.save(
+                    ledger=ledger, root=root, iteration=it, parent=parent,
+                    visited=visited, active=active, records=iterations,
+                )

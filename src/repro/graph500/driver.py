@@ -133,6 +133,10 @@ class Graph500Report:
     #: Metrics registry shared by every root's BFS (``NULL_METRICS``
     #: when the run was not metered).
     metrics: object = field(default=NULL_METRICS, repr=False)
+    #: Resilience accounting (``None`` for a fault-free run): injected
+    #: fault/retry counts, crashes survived, checkpoints written, wasted
+    #: seconds re-executed after restores.
+    resilience: dict | None = field(default=None)
 
     @property
     def time_stats(self) -> Graph500Stats:
@@ -194,6 +198,10 @@ def run_graph500(
     construction_seconds: float | None = None,
     tracer: Tracer | None = None,
     metrics=None,
+    faults=None,
+    checkpoint_every: int = 0,
+    max_restarts: int = 3,
+    recovery_mode: str = "restart",
 ) -> Graph500Report:
     """Run the full Graph500 benchmark flow on the simulated machine.
 
@@ -221,6 +229,19 @@ def run_graph500(
         the aggregate metric families across every root's BFS; build a
         :class:`~repro.obs.report.RunReport` from the returned report
         with :func:`repro.obs.report.report_from_graph500`.
+    faults:
+        Optional fault description — a spec string (see
+        :func:`repro.resilience.faults.parse_fault_spec`), a parsed
+        :class:`~repro.resilience.faults.FaultPlan`, or a ready
+        :class:`~repro.resilience.faults.FaultInjector`.  The injector
+        draws from the *same* seeded generator as root sampling, so a
+        faulty run is bit-reproducible from ``seed`` alone.
+    checkpoint_every:
+        Snapshot traversal state every N completed levels (0 disables);
+        write costs are charged to each root's ledger.
+    max_restarts, recovery_mode:
+        :class:`~repro.resilience.recovery.RecoveryPolicy` knobs applied
+        when a crash fault fires (``restart`` or ``degrade``).
     """
     from repro.analysis.experiments import tuned_thresholds
 
@@ -261,6 +282,32 @@ def run_graph500(
         metrics=metrics,
     )
 
+    # Resilience setup: the injector shares the run's one seeded rng
+    # (the generator root sampling draws from next), so ``seed`` alone
+    # makes an entire faulty run bit-reproducible.
+    injector = None
+    checkpointer = None
+    policy = None
+    if faults is not None or checkpoint_every:
+        from repro.resilience import (
+            FaultInjector,
+            LevelCheckpointer,
+            RecoveryPolicy,
+        )
+
+        registry = metrics if metrics is not None else NULL_METRICS
+        if faults is not None:
+            injector = (
+                faults
+                if isinstance(faults, FaultInjector)
+                else FaultInjector(faults, rng=rng, metrics=registry)
+            )
+            injector.plan.validate(p)
+        checkpointer = LevelCheckpointer(
+            every=checkpoint_every, mesh=mesh, metrics=registry
+        )
+        policy = RecoveryPolicy(max_restarts=max_restarts, mode=recovery_mode)
+
     degrees = part.degrees
     roots = sample_roots(degrees, num_roots, rng=rng)
 
@@ -270,21 +317,63 @@ def run_graph500(
 
     times, teps, results = [], [], []
     all_valid = True
+    crashes = restarts = 0
+    wasted_seconds = 0.0
+    excised_total = 0
     for root in roots:
         with tracer.span("root", category="bfs_root", root=int(root)):
-            res = engine.run(int(root))
+            if injector is None and checkpointer is None:
+                res = engine.run(int(root))
+                excised = np.array([], dtype=np.int64)
+            else:
+                from repro.resilience import run_with_recovery
+
+                checkpointer.clear()  # snapshots never outlive their root
+                recovered = run_with_recovery(
+                    engine, int(root),
+                    faults=injector if injector is not None else None,
+                    checkpointer=checkpointer,
+                    policy=policy,
+                    metrics=metrics if metrics is not None else NULL_METRICS,
+                )
+                res = recovered.result
+                crashes += recovered.crashes
+                restarts += recovered.restarts
+                wasted_seconds += recovered.wasted_seconds
+                excised = recovered.excised
+                excised_total += int(excised.size)
             if validate:
                 with tracer.span("validate", category="phase", root=int(root)):
                     try:
-                        validate_bfs_result(
-                            graph, int(root), res.parent,
-                            edge_src=src, edge_dst=dst,
-                        )
+                        if excised.size:
+                            from repro.resilience import validate_partial
+
+                            validate_partial(
+                                graph, int(root), res.parent, excised
+                            )
+                        else:
+                            validate_bfs_result(
+                                graph, int(root), res.parent,
+                                edge_src=src, edge_dst=dst,
+                            )
                     except AssertionError:
                         all_valid = False
         times.append(res.total_seconds)
         teps.append(problem.num_edges / res.total_seconds)
         results.append(res)
+
+    resilience = None
+    if injector is not None or checkpoint_every:
+        resilience = {
+            "crashes": crashes,
+            "restarts": restarts,
+            "wasted_seconds": wasted_seconds,
+            "excised_vertices": excised_total,
+            "checkpoint_every": checkpoint_every,
+            "recovery_mode": recovery_mode,
+        }
+        if injector is not None:
+            resilience.update(injector.summary())
 
     with tracer.span("harvest", category="phase", num_roots=int(roots.size)):
         return Graph500Report(
@@ -297,6 +386,7 @@ def run_graph500(
             validated=all_valid,
             results=results,
             metrics=metrics if metrics is not None else NULL_METRICS,
+            resilience=resilience,
         )
 
 

@@ -314,6 +314,20 @@ def report_from_graph500(
         first = report.results[0]
         breakdowns = _breakdowns_from(first.ledger, first)
         directions = _direction_matrix(first.iterations)
+    resilience = getattr(report, "resilience", None)
+    if resilience:
+        # Only faulty runs grow these keys, so a fault-free report stays
+        # bit-identical to the pinned smoke baseline.
+        ctx.setdefault("resilience", {
+            "checkpoint_every": resilience.get("checkpoint_every", 0),
+            "recovery_mode": resilience.get("recovery_mode", "restart"),
+        })
+        for key in (
+            "crashes", "restarts", "wasted_seconds", "excised_vertices",
+            "faults_fired", "retries", "corruptions_detected",
+        ):
+            if key in resilience:
+                metrics[f"resilience.{key}"] = float(resilience[key])
     return RunReport(
         name=name,
         fingerprint=config_fingerprint(ctx),

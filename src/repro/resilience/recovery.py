@@ -1,0 +1,333 @@
+"""Crash recovery policies for interrupted BFS runs.
+
+Two failure channels exist in the simulation and two mechanisms answer
+them:
+
+- **Dropped/corrupted messages** are handled *inside* the charging path:
+  the :class:`~repro.resilience.faults.FaultInjector` makes the
+  :class:`~repro.runtime.ledger.TrafficLedger` charge each failed
+  attempt at full cost plus an exponential backoff wait before the
+  successful transfer — retry-with-backoff priced, not just counted.
+- **Rank crashes** abort the whole attempt with a
+  :class:`~repro.resilience.faults.RankCrashError`.  That is this
+  module's job: :func:`run_with_recovery` catches the crash, accounts
+  the wasted attempt's ledger, and applies a :class:`RecoveryPolicy` —
+
+  ``restart``
+      restore from the newest :class:`~repro.resilience.checkpoint`
+      snapshot (or from scratch when none exists) and re-execute the
+      remaining levels; the snapshot's restore broadcast is charged to
+      the recovered attempt's ledger.
+  ``degrade``
+      give up on the dead rank: excise the L-vertices it owned from the
+      traversal (mark pre-visited with no parent) and finish on the
+      surviving ranks.  The result no longer satisfies full Graph500
+      validation — :func:`validate_partial` checks the weaker contract
+      (tree edges are real, levels are consistent, and nothing *outside*
+      the excised set was silently lost) and reports coverage.
+
+The returned :class:`ResilientRunResult` wraps the final
+:class:`~repro.core.metrics.BFSRunResult` with the recovery story: how
+many crashes were survived, what the wasted attempts cost (their events
+are merged into the final ledger so ``total_seconds`` is the true
+end-to-end cost including lost work), and which vertices were excised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import BFSRunResult
+from repro.obs.metrics import NULL_METRICS
+from repro.resilience.checkpoint import Checkpoint, LevelCheckpointer
+from repro.resilience.faults import NULL_FAULTS, RankCrashError
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryPolicy",
+    "ResilientRunResult",
+    "PartialCoverage",
+    "run_with_recovery",
+    "validate_partial",
+]
+
+
+class RecoveryError(RuntimeError):
+    """The run could not be recovered within the policy's budget."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What to do when a rank dies mid-traversal."""
+
+    #: Crashes survived before giving up (``RecoveryError``).
+    max_restarts: int = 3
+    #: ``restart`` (re-execute from checkpoint/scratch) or ``degrade``
+    #: (excise the dead rank's L-vertices and finish without it).
+    mode: str = "restart"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("restart", "degrade"):
+            raise ValueError(f"unknown recovery mode {self.mode!r}")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
+
+@dataclass
+class ResilientRunResult:
+    """A recovered BFS run plus its failure/recovery accounting."""
+
+    result: BFSRunResult
+    crashes: int = 0
+    restarts: int = 0
+    #: Iteration of the snapshot each restart resumed from (-1 = scratch).
+    resumed_from: list[int] = field(default_factory=list)
+    #: Simulated seconds burned by aborted attempts (already included in
+    #: ``result.total_seconds``).
+    wasted_seconds: float = 0.0
+    #: Vertices excised by degrade mode (empty in restart mode).
+    excised: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+
+    @property
+    def degraded(self) -> bool:
+        return self.excised.size > 0
+
+    def summary(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "resumed_from": list(self.resumed_from),
+            "wasted_seconds": self.wasted_seconds,
+            "excised_vertices": int(self.excised.size),
+            "degraded": self.degraded,
+        }
+
+
+def _degraded_resume(engine, root: int, snap: Checkpoint | None,
+                     dead_ranks) -> tuple[Checkpoint, np.ndarray]:
+    """Build a resume state with the dead ranks' L-vertices excised.
+
+    Only L (low-degree) vertices are excisable: they live on exactly one
+    rank under the block distribution, so a dead rank takes its slice
+    with it.  E/H delegates are replicated along mesh rows/columns and
+    survive any single failure — the redundancy argument the 1.5D
+    placement makes in the paper.
+    """
+    part, mesh = engine.part, engine.mesh
+    n = part.num_vertices
+    is_l = part.class_masks()["L"]
+    excise = np.zeros(n, dtype=bool)
+    for rank in sorted(dead_ranks):
+        lo, hi = mesh.vertex_range(int(rank), n)
+        excise[lo:hi] = True
+    excise &= is_l
+    if excise[root]:
+        raise RecoveryError(
+            f"root {root} was owned by a dead rank; degraded recovery "
+            "cannot excise the search key"
+        )
+    if snap is not None:
+        parent = snap.parent.copy()
+        visited = snap.visited.copy()
+        active = snap.active.copy()
+        iteration = snap.iteration
+        records = snap.records
+        # Vertices the dead rank had already reached keep their parents;
+        # the excision only removes *future* work on that rank.
+        excise &= ~(parent >= 0)
+    else:
+        parent = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        active = np.zeros(n, dtype=bool)
+        parent[root] = root
+        visited[root] = True
+        active[root] = True
+        iteration = -1
+        records = ()
+    visited[excise] = True
+    active[excise] = False
+    resume = Checkpoint.capture(
+        root=root, iteration=iteration, parent=parent, visited=visited,
+        active=active, records=records,
+    )
+    return resume, np.flatnonzero(excise).astype(np.int64)
+
+
+def run_with_recovery(
+    engine,
+    root: int,
+    *,
+    faults=NULL_FAULTS,
+    checkpointer: LevelCheckpointer | None = None,
+    policy: RecoveryPolicy = RecoveryPolicy(),
+    metrics=NULL_METRICS,
+) -> ResilientRunResult:
+    """Run one BFS, surviving injected rank crashes.
+
+    ``engine`` is any scheduler-backed engine
+    (:class:`~repro.core.engine.DistributedBFS`, the baselines, or
+    :class:`~repro.runtime.replay.ReplayBFS`); its ``run`` must accept
+    the ``faults``/``checkpointer``/``resume`` keywords, which every
+    host inherits from :class:`~repro.core.kernels.scheduler.LevelSyncScheduler`.
+    """
+    crashes = 0
+    wasted: list = []  # aborted attempts' ledgers
+    wasted_seconds = 0.0
+    resumed_from: list[int] = []
+    excised = np.array([], dtype=np.int64)
+    resume: Checkpoint | None = None
+
+    while True:
+        try:
+            result = engine.run(
+                root, faults=faults, checkpointer=checkpointer, resume=resume
+            )
+            break
+        except RankCrashError as crash:
+            crashes += 1
+            metrics.counter("rank_crashes").inc()
+            if crash.ledger is not None:
+                wasted.append(crash.ledger)
+                wasted_seconds += crash.ledger.total_seconds
+            if crashes > policy.max_restarts:
+                raise RecoveryError(
+                    f"rank {crash.rank} crashed at iteration "
+                    f"{crash.iteration}; restart budget "
+                    f"({policy.max_restarts}) exhausted"
+                ) from crash
+            snap = checkpointer.latest() if checkpointer is not None else None
+            if snap is not None:
+                snap.verify()
+            if policy.mode == "degrade":
+                resume, excised = _degraded_resume(
+                    engine, root, snap, faults.dead_ranks
+                )
+                metrics.counter("degraded_runs").inc()
+            else:
+                resume = snap
+            resumed_from.append(resume.iteration if resume is not None else -1)
+            metrics.counter("recoveries", mode=policy.mode).inc()
+
+    # Fold the lost work into the final accounting: the recovered run's
+    # true cost includes every second the aborted attempts burned.
+    recovery_seconds = 0.0
+    for ledger in wasted:
+        recovery_seconds += ledger.total_seconds
+        result.ledger.merge(ledger)
+    if wasted:
+        result.total_seconds = result.ledger.total_seconds
+        metrics.counter("recovery_time").inc(recovery_seconds)
+
+    return ResilientRunResult(
+        result=result,
+        crashes=crashes,
+        restarts=len(resumed_from),
+        resumed_from=resumed_from,
+        wasted_seconds=wasted_seconds,
+        excised=excised,
+    )
+
+
+@dataclass(frozen=True)
+class PartialCoverage:
+    """Outcome of :func:`validate_partial` on a degraded run."""
+
+    reached: int
+    reachable: int
+    excised: int
+    #: Non-excised vertices adjacent to the tree that were not reached.
+    lost: int
+
+    @property
+    def coverage(self) -> float:
+        return self.reached / self.reachable if self.reachable else 1.0
+
+
+def validate_partial(
+    graph, root: int, parent: np.ndarray, excised: np.ndarray
+) -> PartialCoverage:
+    """Validate a degraded run's weaker contract.
+
+    Checks (subset of the Graph500 spec, minus full coverage):
+
+    1. the root is its own parent;
+    2. every tree edge ``(v, parent[v])`` is a real graph edge;
+    3. BFS levels are consistent: ``level[v] == level[parent[v]] + 1``;
+    4. no *silent* loss — every unreached, non-excised vertex with a
+       reached neighbour must be explained by the excision (reachable
+       only through excised vertices is fine; a skipped expandable
+       vertex is not).
+
+    ``graph`` is the CSR used by :mod:`repro.graph500.validate`
+    (``indptr``/``indices`` attributes).  Raises ``AssertionError`` on
+    any violation; returns coverage statistics otherwise.
+    """
+    n = parent.size
+    excised_mask = np.zeros(n, dtype=bool)
+    excised_mask[excised] = True
+    assert parent[root] == root, "root must be its own parent"
+    assert not excised_mask[root], "root cannot be excised"
+
+    reached = np.flatnonzero(parent >= 0)
+    # levels by walking up the tree (tree depth <= n).
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = [root]
+    depth = 0
+    reached_set = set(int(v) for v in reached)
+    children: dict[int, list[int]] = {}
+    for v in reached:
+        v = int(v)
+        if v != root:
+            children.setdefault(int(parent[v]), []).append(v)
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in children.get(u, ()):  # tree edges only
+                level[v] = depth
+                nxt.append(v)
+        frontier = nxt
+    assert int((level >= 0).sum()) == len(reached_set), (
+        "parent array contains a cycle or an orphaned subtree"
+    )
+
+    indptr, indices = graph.indptr, graph.indices
+    for v in reached:
+        v = int(v)
+        if v == root:
+            continue
+        p = int(parent[v])
+        neigh = indices[indptr[v]:indptr[v + 1]]
+        assert p in neigh, f"tree edge ({v}, {p}) is not a graph edge"
+        assert level[v] == level[p] + 1, (
+            f"level inconsistency at {v}: {level[v]} vs parent {level[p]}"
+        )
+
+    # Silent-loss check: an unreached, non-excised vertex may only have
+    # reached neighbours if every such neighbour is excised (i.e. the
+    # frontier died there by design, not by a bug).
+    lost = 0
+    unreached = np.flatnonzero((parent < 0) & ~excised_mask)
+    for v in unreached:
+        v = int(v)
+        neigh = indices[indptr[v]:indptr[v + 1]]
+        if neigh.size == 0:
+            continue
+        reached_neigh = neigh[parent[neigh] >= 0]
+        if reached_neigh.size and not excised_mask[reached_neigh].all():
+            lost += 1
+    assert lost == 0, (
+        f"{lost} non-excised vertices were reachable from live ranks "
+        "but never visited"
+    )
+
+    reachable = int((parent >= 0).sum() + unreached.size)
+    return PartialCoverage(
+        reached=int(reached.size),
+        reachable=reachable,
+        excised=int(excised_mask.sum()),
+        lost=lost,
+    )

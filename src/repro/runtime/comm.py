@@ -22,6 +22,17 @@ their *per-rank* byte vectors — ``alltoallv`` the bytes each rank sends,
 ``allgather`` each rank's contribution — into the ``rank_bytes`` vector
 family and the ``rank_byte_load`` histogram (both labeled by ``phase``),
 the per-rank communication-imbalance data behind Fig. 13.
+
+Fault interception: every collective passes its explicit rank ``group``
+into :meth:`~repro.runtime.ledger.TrafficLedger.charge_collective`, so
+an installed :class:`~repro.resilience.faults.FaultInjector` can scope
+drop/straggler faults to the sub-communicator actually involved, and
+every *delivered* payload makes one :meth:`_deliver` round-trip through
+the injector — a corruption fault flips a byte of a copy, the sha256
+checksum mismatch detects it, and the pristine data is re-delivered
+(checksum-verified retransmission, with the wasted attempt and backoff
+already charged by the ledger).  With no injector installed both hooks
+are no-ops and delivery is byte-identical to the fault-free path.
 """
 
 from __future__ import annotations
@@ -43,6 +54,13 @@ class SimCommunicator:
 
     mesh: ProcessMesh
     ledger: TrafficLedger
+
+    def _deliver(self, phase: str, payload: np.ndarray) -> np.ndarray:
+        """Payload delivery hook: corruption round-trip when faults are on."""
+        faults = self.ledger.faults
+        if faults is None:
+            return payload
+        return faults.verify_delivery(phase, payload)
 
     # ------------------------------------------------------------------
     # alltoallv
@@ -97,6 +115,7 @@ class SimCommunicator:
             max_bytes_intra=float(per_rank_intra.max(initial=0.0)),
             max_bytes_inter=float(per_rank_inter.max(initial=0.0)),
             total_bytes=total_bytes,
+            group=group,
         )
         per_rank_sent = per_rank_intra + per_rank_inter
         m = self.ledger.metrics
@@ -105,7 +124,10 @@ class SimCommunicator:
             per_rank_sent[group]
         )
         return {
-            j: (np.concatenate(parts) if parts else np.array([], dtype=np.int64))
+            j: self._deliver(
+                phase,
+                np.concatenate(parts) if parts else np.array([], dtype=np.int64),
+            )
             for j, parts in recv.items()
         }
 
@@ -145,13 +167,14 @@ class SimCommunicator:
             max_bytes_intra=intra,
             max_bytes_inter=inter,
             total_bytes=float(gathered.nbytes) * group.size,
+            group=group,
         )
         m = self.ledger.metrics
         m.vector("rank_bytes", phase=phase).add(contrib_bytes)
         m.histogram("rank_byte_load", phase=phase).observe_many(
             contrib_bytes[group]
         )
-        return gathered
+        return self._deliver(phase, gathered)
 
     # ------------------------------------------------------------------
     # bitmap reductions
@@ -193,8 +216,9 @@ class SimCommunicator:
             max_bytes_intra=intra,
             max_bytes_inter=inter,
             total_bytes=payload_bytes * group.size,
+            group=group,
         )
-        return out
+        return self._deliver(phase, out)
 
     def reduce_scatter_or(
         self,
@@ -226,7 +250,9 @@ class SimCommunicator:
             max_bytes_intra=intra,
             max_bytes_inter=inter,
             total_bytes=payload_bytes * group.size,
+            group=group,
         )
+        out = self._deliver(phase, out)
         return {
             int(rank): out[splits[k] : splits[k + 1]]
             for k, rank in enumerate(group)
@@ -235,8 +261,9 @@ class SimCommunicator:
     # ------------------------------------------------------------------
 
     def barrier(self, phase: str, group: np.ndarray) -> None:
+        group = np.asarray(group)
         self.ledger.charge_collective(
-            phase, CollectiveKind.BARRIER, participants=np.asarray(group).size
+            phase, CollectiveKind.BARRIER, participants=group.size, group=group
         )
 
     def _group_traffic_split(

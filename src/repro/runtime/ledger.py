@@ -30,6 +30,18 @@ behind Fig. 13's load-balance analysis.  Registry counter totals equal
 the ledger's totals exactly (``counter_total("comm_bytes") ==
 total_bytes``); the default :data:`~repro.obs.metrics.NULL_METRICS`
 makes this a no-op too.
+
+When a :class:`~repro.resilience.faults.FaultInjector` is attached
+(``faults=``), the ledger is additionally the fault *consumption* choke
+point: every collective charge asks the injector for an outcome — each
+drop/corruption records the failed attempt as a full-cost wasted
+``CommEvent`` plus an exponential-backoff wait (:meth:`charge_wait`)
+before the successful transfer, and straggler faults multiply the
+successful attempt's critical-path seconds.  Because both the analytic
+engines and the functional :class:`~repro.runtime.comm.SimCommunicator`
+charge through here, all seven engine configs inherit fault behaviour
+from this one hook.  The default (``faults=None``) skips the injector
+entirely and keeps unfaulted runs bit-identical.
 """
 
 from __future__ import annotations
@@ -83,10 +95,52 @@ class TrafficLedger:
     tracer: object = field(default=NULL_TRACER, repr=False, compare=False)
     #: Aggregate sink; every charge feeds the labeled metric families.
     metrics: object = field(default=NULL_METRICS, repr=False, compare=False)
+    #: Optional :class:`~repro.resilience.faults.FaultInjector`; ``None``
+    #: (the default) takes the fault-free fast path.
+    faults: object = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
+
+    def _commit_collective(
+        self,
+        phase: str,
+        kind: CollectiveKind,
+        participants: int,
+        max_bytes_intra: float,
+        max_bytes_inter: float,
+        total_bytes: float,
+        seconds: float,
+        wasted: bool = False,
+    ) -> None:
+        """Append one priced collective event and mirror it to the sinks."""
+        self.comm_events.append(
+            CommEvent(
+                phase=phase,
+                kind=kind,
+                participants=participants,
+                max_bytes_intra=max_bytes_intra,
+                max_bytes_inter=max_bytes_inter,
+                total_bytes=total_bytes,
+                seconds=seconds,
+            )
+        )
+        self.tracer.charge(
+            kind.value,
+            category="collective",
+            sim_seconds=seconds,
+            counters={"bytes": total_bytes},
+            phase=phase,
+            kind=kind.value,
+            participants=participants,
+            **({"wasted": True} if wasted else {}),
+        )
+        m = self.metrics
+        m.counter("comm_seconds", phase=phase, kind=kind.value).inc(seconds)
+        m.counter("comm_bytes", phase=phase, kind=kind.value).inc(total_bytes)
+        m.counter("comm_events", phase=phase, kind=kind.value).inc()
+        m.histogram("collective_bytes", kind=kind.value).observe(total_bytes)
 
     def charge_collective(
         self,
@@ -96,8 +150,18 @@ class TrafficLedger:
         max_bytes_intra: float = 0.0,
         max_bytes_inter: float = 0.0,
         total_bytes: float | None = None,
+        group=None,
     ) -> float:
-        """Price and record one collective; returns its modeled seconds."""
+        """Price and record one collective; returns its modeled seconds.
+
+        ``group`` is the explicit participating rank set when the caller
+        knows it (the functional communicator's row/column groups); it is
+        only consulted by the fault injector, never by the cost model.
+        With an injector installed, a drop/corruption fault records each
+        failed attempt at full cost plus a backoff wait before the
+        successful one, and stragglers stretch the successful attempt —
+        the returned seconds are the *successful* attempt's only.
+        """
         if max_bytes_intra < 0 or max_bytes_inter < 0:
             raise ValueError("byte volumes must be nonnegative")
         if total_bytes is not None and total_bytes < 0:
@@ -105,34 +169,42 @@ class TrafficLedger:
         seconds = self.cost_model.collective_time(
             kind, participants, max_bytes_intra, max_bytes_inter
         )
-        event = CommEvent(
-            phase=phase,
-            kind=kind,
-            participants=participants,
-            max_bytes_intra=max_bytes_intra,
-            max_bytes_inter=max_bytes_inter,
-            total_bytes=(
-                max_bytes_intra + max_bytes_inter
-                if total_bytes is None
-                else total_bytes
-            ),
-            seconds=seconds,
+        total = (
+            max_bytes_intra + max_bytes_inter
+            if total_bytes is None
+            else total_bytes
         )
-        self.comm_events.append(event)
-        self.tracer.charge(
-            kind.value,
-            category="collective",
-            sim_seconds=seconds,
-            counters={"bytes": event.total_bytes},
-            phase=phase,
-            kind=kind.value,
-            participants=participants,
+        if self.faults is not None:
+            outcome = self.faults.collective(phase, kind, participants, group)
+            if outcome is not None:
+                for attempt in range(outcome.retries):
+                    # The lost transfer burned its full critical path...
+                    self._commit_collective(
+                        phase, kind, participants, max_bytes_intra,
+                        max_bytes_inter, total, seconds, wasted=True,
+                    )
+                    # ...and the sender backed off before retrying.
+                    self.charge_wait(phase, outcome.backoff.seconds(attempt))
+                if outcome.straggle_factor != 1.0:
+                    seconds = seconds * outcome.straggle_factor
+        self._commit_collective(
+            phase, kind, participants, max_bytes_intra, max_bytes_inter,
+            total, seconds,
         )
-        m = self.metrics
-        m.counter("comm_seconds", phase=phase, kind=kind.value).inc(seconds)
-        m.counter("comm_bytes", phase=phase, kind=kind.value).inc(event.total_bytes)
-        m.counter("comm_events", phase=phase, kind=kind.value).inc()
-        m.histogram("collective_bytes", kind=kind.value).observe(event.total_bytes)
+        return seconds
+
+    def charge_wait(self, phase: str, seconds: float) -> float:
+        """Record pure waiting time (retry backoff, restore stalls).
+
+        Priced as a zero-byte single-participant barrier with explicit
+        seconds — it never consults the fault injector, so waits cannot
+        recursively fault.
+        """
+        if seconds < 0:
+            raise ValueError("wait seconds must be nonnegative")
+        self._commit_collective(
+            phase, CollectiveKind.BARRIER, 1, 0.0, 0.0, 0.0, seconds
+        )
         return seconds
 
     def charge_compute(
@@ -152,6 +224,11 @@ class TrafficLedger:
         items = np.asarray(per_node_items, dtype=np.int64)
         if items.size and items.min() < 0:
             raise ValueError("per-node item counts must be nonnegative")
+        if self.faults is not None:
+            # A straggling rank stretches the busiest-node critical path.
+            factor = self.faults.compute_factor(phase, items)
+            if factor != 1.0:
+                seconds_for_max = seconds_for_max * factor
         max_items = int(items.max()) if items.size else 0
         total_items = int(items.sum()) if items.size else 0
         mean_items = total_items / items.size if items.size else 0.0

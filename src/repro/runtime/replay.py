@@ -224,8 +224,8 @@ class ReplayBFS(SchedulerHost):
     # public API
     # ------------------------------------------------------------------
 
-    def run(self, root: int) -> ReplayResult:
-        result = self.scheduler.run(root)
+    def run(self, root: int, **resilience) -> ReplayResult:
+        result = self.scheduler.run(root, **resilience)
         return ReplayResult(
             root=root,
             parent=result.parent,
@@ -244,13 +244,13 @@ class ReplayBFS(SchedulerHost):
         self._messages = 0
         return ledger
 
-    def seed(self, root: int) -> None:
+    def _fresh_ranks(self) -> list[_RankState]:
         mesh, part = self.mesh, self.part
-        self._ranks = []
+        ranks = []
         for r in range(self.p):
             lo, hi = mesh.vertex_range(r, self.n)
             col = int(mesh.col_of(r))
-            self._ranks.append(
+            ranks.append(
                 _RankState(
                     rank=r,
                     lo=lo,
@@ -267,12 +267,52 @@ class ReplayBFS(SchedulerHost):
                     ),
                 )
             )
+        return ranks
+
+    def seed(self, root: int) -> None:
+        mesh = self.mesh
+        self._ranks = self._fresh_ranks()
         owner_root = int(mesh.owner_of(root, self.n))
         st = self._ranks[owner_root]
         st.visited[root - st.lo] = True
         st.parent[root - st.lo] = root
         st.active[root - st.lo] = True
         self._seed_delegates(self._ranks, np.array([root]), np.array([root]))
+
+    def restore(self, root: int, parent, visited, active) -> None:
+        """Re-shard checkpointed global arrays into per-rank state.
+
+        Each surviving rank rebuilds exactly what it is allowed to hold:
+        its owned slices of ``visited``/``parent``/``active`` and its
+        delegate replicas (global E bitmaps, column/row H bitmaps) taken
+        from the restored global view — the SPMD analogue of reading the
+        snapshot back from the parallel file system.
+        """
+        mesh, part = self.mesh, self.part
+        self._ranks = self._fresh_ranks()
+        e_active = active[part.e_ids] if part.num_e else np.zeros(0, dtype=bool)
+        e_visited = visited[part.e_ids] if part.num_e else np.zeros(0, dtype=bool)
+        for st in self._ranks:
+            st.visited[:] = visited[st.lo:st.hi]
+            st.parent[:] = np.where(
+                st.visited, parent[st.lo:st.hi], -1
+            )
+            st.active[:] = active[st.lo:st.hi]
+            st.e_active = e_active.copy()
+            st.e_visited = e_visited.copy()
+            col = int(mesh.col_of(st.rank))
+            st.col_h_active = active[self._col_h[col]].astype(bool)
+            st.col_h_visited = visited[self._col_h[col]].astype(bool)
+            row = int(mesh.row_of(st.rank))
+            st.row_h_visited = visited[self._row_h[row]].astype(bool)
+            # Delegated vertices already reached keep their recorded
+            # parents for the run-end delayed reduction.
+            for v in np.flatnonzero(visited & (self._e_pos >= 0)).tolist():
+                st.delegate_parents[v] = int(parent[v])
+            for v in np.flatnonzero(
+                visited & ((self._col_h_pos >= 0) | (self._row_h_pos >= 0))
+            ).tolist():
+                st.delegate_parents[v] = int(parent[v])
 
     def begin_iteration(self, ledger, active, visited) -> None:
         # The frontier-empty check is an allreduce in real MPI; the

@@ -133,6 +133,89 @@ class TestCommands:
         assert "delta = 0.25" in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    def test_malformed_faults_spec_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["bfs", "--faults", "explode:rank=1"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown fault kind" in err and "usage" in err
+
+    def test_out_of_range_rank_exits_two(self, capsys):
+        rc = main([
+            "graph500", "--scale", "10", "--mesh", "2x2", "--roots", "1",
+            "--faults", "crash:rank=99,iter=1", "--checkpoint-every", "1",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "rank 99" in err
+
+    def test_graph500_recovers_from_crash(self, capsys):
+        rc = main([
+            "graph500", "--scale", "10", "--mesh", "2x2", "--seed", "7",
+            "--roots", "2", "--faults", "crash:rank=1,iter=2",
+            "--checkpoint-every", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validation: PASSED" in out
+        assert "1 crash(es), 1 restart(s)" in out
+
+    def test_bfs_with_faults(self, capsys):
+        rc = main([
+            "bfs", "--scale", "10", "--mesh", "2x2",
+            "--faults", "drop:phase=L2L,count=1,retries=1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience:" in out
+
+    def test_chaos_gate_passes(self, capsys):
+        rc = main([
+            "chaos", "--scale", "10", "--mesh", "2x2", "--seed", "7",
+            "--roots", "2", "--matrix", "crash:rank=1,iter=2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MATCH" in out and "chaos gate: PASS" in out
+
+    def test_chaos_malformed_matrix_exits_two(self, capsys):
+        rc = main(["chaos", "--scale", "10", "--mesh", "2x2",
+                   "--matrix", "kaboom"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMainEntryPoint:
+    """``python -m repro`` error surfaces, via the real interpreter."""
+
+    def _run(self, *argv):
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        repo = Path(__file__).parent.parent
+        return subprocess.run(
+            [_sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_unknown_subcommand_exits_two_with_usage(self):
+        proc = self._run("nosuchcmd")
+        assert proc.returncode == 2
+        assert "usage:" in proc.stderr
+        assert "invalid choice" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_malformed_faults_exits_two_with_usage(self):
+        proc = self._run("bfs", "--faults", "drop:count")
+        assert proc.returncode == 2
+        assert "usage:" in proc.stderr
+        assert "expected key=value" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
 class TestReportAndCompare:
     def _write_report(self, path, **kwargs):
         args = ["report", "--scale", "10", "--mesh", "2x2", "--seed", "7",
