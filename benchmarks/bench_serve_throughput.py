@@ -1,0 +1,131 @@
+"""Serving throughput benchmark — batch window x queue depth sweep.
+
+Two tables, one artifact (``results/BENCH_serve.json``):
+
+- **Amortization** (deterministic, simulated): the same 64 roots run as
+  one multi-source batch vs 64 sequential traversals.  The batch=64
+  amortized cost per query must stay at least 4x below the single-root
+  baseline — this is the CI-gateable number, bit-stable run to run.
+- **Service** (end-to-end, wall-clock): the seeded closed-loop workload
+  driven through the full admission-controlled :class:`TraversalService`
+  across (queue depth x batch window) points.  Wall QPS and latency
+  percentiles vary with the host and are recorded for trend context;
+  correctness columns (wrong parents, failed) gate at zero.
+
+Refresh after an intentional model change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -q
+"""
+
+import json
+
+import numpy as np
+from conftest import emit
+
+from repro.graph500.driver import sample_roots
+from repro.serve.bench import (
+    amortization_sweep,
+    build_serving_pair,
+    service_sweep,
+)
+from repro.serve.workload import make_workload_roots
+
+ARTIFACT_NAME = "BENCH_serve.json"
+SCALE, ROWS, COLS, SEED = 10, 2, 2, 7
+E_THRESHOLD, H_THRESHOLD = 128, 16
+MIN_AMORTIZATION_AT_64 = 4.0
+
+
+def render(amortization, service) -> str:
+    lines = [
+        f"serving benchmark: SCALE-{SCALE}, {ROWS}x{COLS} mesh, seed {SEED}",
+        "",
+        "amortization (simulated, deterministic)",
+        f"{'batch':>6} {'s/query':>12} {'seq s/query':>12} "
+        f"{'factor':>8} {'bytes ratio':>12} {'waves':>6}",
+    ]
+    for p in amortization:
+        lines.append(
+            f"{p.batch_size:>6} {p.amortized_seconds:>12.3e} "
+            f"{p.sequential_seconds / p.batch_size:>12.3e} "
+            f"{p.amortization_factor:>8.2f} "
+            f"{p.batch_bytes / p.sequential_bytes:>12.3f} {p.waves:>6}"
+        )
+    lines += [
+        "",
+        "service sweep (wall-clock, closed loop)",
+        f"{'depth':>6} {'window':>8} {'served':>7} {'hit%':>6} "
+        f"{'mean b':>7} {'qps':>9} {'p50 ms':>8} {'p99 ms':>8}",
+    ]
+    for p in service:
+        lines.append(
+            f"{p.queue_depth:>6} {p.batch_window:>8.3f} {p.served:>7} "
+            f"{100 * p.cache_hit_rate:>6.1f} {p.mean_batch_size:>7.1f} "
+            f"{p.qps:>9.1f} {1e3 * p.p50_seconds:>8.2f} "
+            f"{1e3 * p.p99_seconds:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_serve_throughput(benchmark, results_dir):
+    sequential, batched = build_serving_pair(
+        SCALE, ROWS, COLS, seed=SEED,
+        e_threshold=E_THRESHOLD, h_threshold=H_THRESHOLD,
+    )
+    degrees = batched.part.degrees
+    roots = sample_roots(
+        degrees, 64, rng=np.random.default_rng(SEED)
+    )
+    expected = {int(r): sequential.run(int(r)).parent for r in roots}
+
+    amortization = benchmark.pedantic(
+        lambda: amortization_sweep(
+            sequential, batched, roots, batch_sizes=(1, 4, 16, 64)
+        ),
+        rounds=1, iterations=1,
+    )
+    workload_roots = np.unique(make_workload_roots(degrees, 256, seed=1))
+    expected |= {
+        int(r): sequential.run(int(r)).parent
+        for r in workload_roots
+        if int(r) not in expected
+    }
+    service = service_sweep(
+        batched, degrees,
+        num_queries=256, seed=1, batch_sizes=(64,),
+        queue_depths=(64, 256), batch_windows=(0.005,),
+        expected=expected,
+    )
+
+    # The tentpole gate: batched queries amortize the traversal.
+    at64 = next(p for p in amortization if p.batch_size == 64)
+    assert at64.amortization_factor >= MIN_AMORTIZATION_AT_64, (
+        f"batch=64 amortization {at64.amortization_factor:.2f}x fell "
+        f"below the {MIN_AMORTIZATION_AT_64}x floor"
+    )
+    # Batching must also move strictly fewer ledger bytes.
+    assert at64.batch_bytes < at64.sequential_bytes
+    # Correctness gates on the end-to-end sweep.
+    for p in service:
+        assert p.wrong_parents == 0
+        assert p.failed == 0
+        assert p.served == p.num_queries
+        assert p.cache_hit_rate > 0
+
+    artifact = {
+        "schema": "repro.bench_serve/1",
+        "config": dict(
+            scale=SCALE, rows=ROWS, cols=COLS, seed=SEED,
+            e_threshold=E_THRESHOLD, h_threshold=H_THRESHOLD,
+        ),
+        "amortization": [p.to_dict() for p in amortization],
+        "service": [p.to_dict() for p in service],
+    }
+    path = results_dir / ARTIFACT_NAME
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    emit(results_dir, "serve_throughput", render(amortization, service))
+
+    benchmark.extra_info["amortization_x64"] = round(
+        at64.amortization_factor, 2
+    )
+    benchmark.extra_info["artifact"] = str(path)

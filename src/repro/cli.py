@@ -16,6 +16,12 @@ Subcommands mirror the library's experiment drivers:
   gate).
 - ``chaos`` — run a fault matrix against the fault-free golden run and
   assert every recovered parent tree matches it (the CI chaos gate).
+- ``serve`` — run a seeded query workload through the batched traversal
+  service (bounded queue, batching window, result cache); ``--validate``
+  checks every response bit-for-bit against a sequential run.
+- ``bench-serve`` — the serving benchmark: the deterministic
+  amortization sweep (batched vs sequential simulated cost per query)
+  plus an end-to-end wall-clock service sweep.
 
 ``graph500`` and ``bfs`` accept the resilience flags ``--faults SPEC``
 (see :mod:`repro.resilience.faults` for the grammar), ``--checkpoint-every
@@ -118,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     g5.add_argument("--roots", type=int, default=8, help="BFS roots (64 = conforming)")
     g5.add_argument("--no-validate", action="store_true")
     g5.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
+    g5.add_argument(
+        "--batch-roots", action="store_true",
+        help="run roots through the multi-source batch engine (up to 64 "
+             "per traversal; parents bit-identical, times amortized)",
+    )
 
     bfs = sub.add_parser("bfs", parents=[common, resil], help="one traced BFS run")
     bfs.add_argument("--root", type=int, default=None, help="default: max-degree hub")
@@ -189,6 +200,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence during faulty runs",
     )
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve a seeded query workload through the batched "
+             "traversal service",
+    )
+    serve.add_argument("--queries", type=int, default=256,
+                       help="total queries in the workload")
+    serve.add_argument("--clients", type=int, default=32,
+                       help="concurrent closed-loop clients")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="roots per batch (flush threshold, max 64)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission-control queue bound")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS", help="batching window deadline")
+    serve.add_argument("--hot-fraction", type=float, default=0.5,
+                       help="fraction of queries drawn from the hot set")
+    serve.add_argument("--hot-set", type=int, default=16,
+                       help="hot-set size (repeat roots exercise the cache)")
+    serve.add_argument("--validate", action="store_true",
+                       help="check every response bit-for-bit against a "
+                            "sequential run of the same root")
+    serve.add_argument("--faults", type=_faults_arg, default=None,
+                       metavar="SPEC",
+                       help="inject faults into batches (crash -> replay)")
+    serve.add_argument("--min-hit-rate", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail unless the cache hit rate reaches this "
+                            "(the CI smoke gates > 0 on repeats)")
+    serve.add_argument("--out", metavar="PATH", default=None,
+                       help="write the serve.* RunReport JSON artifact")
+
+    bserve = sub.add_parser(
+        "bench-serve", parents=[common],
+        help="batched-serving benchmark: amortization + throughput sweep",
+    )
+    bserve.add_argument("--queries", type=int, default=256)
+    bserve.add_argument("--batch-sizes", default="1,4,16,64",
+                        help="comma-separated batch sizes for the "
+                             "amortization sweep")
+    bserve.add_argument("--queue-depths", default="64,256",
+                        help="comma-separated queue depths for the "
+                             "service sweep")
+    bserve.add_argument("--windows", default="0.005",
+                        help="comma-separated batching windows (seconds)")
+    bserve.add_argument("--clients", type=int, default=None,
+                        help="closed-loop clients (default: 2x batch size)")
+    bserve.add_argument("--json", metavar="PATH", default=None,
+                        help="write the sweep as a JSON artifact")
+
     ocs = sub.add_parser("ocs", help="OCS-RMA microbenchmark (Fig. 14)")
     ocs.add_argument("--mib", type=int, default=32, help="stream size in MiB")
     ocs.add_argument("--seed", type=int, default=1)
@@ -239,6 +300,7 @@ def _cmd_graph500(args) -> int:
         checkpoint_every=args.checkpoint_every,
         max_restarts=args.max_restarts,
         recovery_mode=args.recovery_mode,
+        batch_roots=args.batch_roots,
     )
     print(report.render())
     print(f"harmonic_mean_GTEPS: {report.mean_gteps:.3f}")
@@ -564,6 +626,164 @@ def _cmd_chaos(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.analysis.reporting import ascii_table, format_seconds
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import report_from_serve
+    from repro.serve.bench import build_serving_pair
+    from repro.serve.workload import make_workload_roots, run_serving_session
+
+    rows, cols = args.mesh
+    sequential, batched = build_serving_pair(
+        args.scale, rows, cols, seed=args.seed,
+        e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+    )
+    roots = make_workload_roots(
+        batched.part.degrees, args.queries, seed=args.seed,
+        hot_fraction=args.hot_fraction, hot_set_size=args.hot_set,
+    )
+    expected = None
+    if args.validate:
+        expected = {
+            int(r): sequential.run(int(r)).parent for r in np.unique(roots)
+        }
+    faults = None
+    if args.faults is not None:
+        from repro.resilience.faults import FaultInjector
+
+        faults = FaultInjector(
+            args.faults, rng=np.random.default_rng(args.seed)
+        )
+    metrics = MetricsRegistry()
+    report, service = run_serving_session(
+        batched, roots,
+        clients=args.clients, expected=expected,
+        batch_size=args.batch_size, queue_depth=args.queue_depth,
+        batch_window=args.batch_window, faults=faults, metrics=metrics,
+    )
+    stats = service.stats
+    table_rows = [
+        ("queries", report.num_queries),
+        ("served", report.served),
+        ("cache hits", f"{report.cache_hits} "
+                       f"({100 * report.cache_hit_rate:.0f}%)"),
+        ("shed retries", report.shed_retries),
+        ("failed", report.failed),
+        ("batches", stats.batches),
+        ("mean batch size", f"{stats.mean_batch_size:.1f}"),
+        ("batch replays", stats.replays),
+        ("p50 latency", format_seconds(stats.p50_seconds)),
+        ("p99 latency", format_seconds(stats.p99_seconds)),
+        ("sim seconds/query", f"{stats.sim_seconds_per_query:.3e}"),
+    ]
+    if expected is not None:
+        table_rows.append(
+            ("wrong parents",
+             f"{report.wrong_parents}/{report.validated} validated")
+        )
+    print(ascii_table(
+        ("stat", "value"), table_rows,
+        title=f"serving SCALE {args.scale} on {rows}x{cols}: "
+              f"batch<={args.batch_size}, queue<={args.queue_depth}, "
+              f"window {args.batch_window * 1e3:g} ms",
+    ))
+    if args.out:
+        run_report = report_from_serve(
+            service, report,
+            context=dict(
+                scale=args.scale, rows=rows, cols=cols, seed=args.seed,
+                queries=args.queries, clients=args.clients,
+                hot_fraction=args.hot_fraction, hot_set=args.hot_set,
+            ),
+        )
+        print(f"run report: {run_report.save(args.out)}")
+    ok = report.failed == 0 and report.wrong_parents == 0
+    if ok and report.served != report.num_queries:
+        print(f"FAIL: {report.num_queries - report.served} queries dropped")
+        ok = False
+    if ok and args.min_hit_rate is not None \
+            and not report.cache_hit_rate > args.min_hit_rate:
+        print(f"FAIL: cache hit rate {report.cache_hit_rate:.3f} "
+              f"not above {args.min_hit_rate:g}")
+        ok = False
+    return 0 if ok else 1
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.analysis.reporting import ascii_table
+    from repro.graph500.driver import sample_roots
+    from repro.serve.bench import (
+        amortization_sweep,
+        build_serving_pair,
+        service_sweep,
+    )
+
+    rows, cols = args.mesh
+    sequential, batched = build_serving_pair(
+        args.scale, rows, cols, seed=args.seed,
+        e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+    )
+    batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
+    roots = sample_roots(
+        batched.part.degrees, max(batch_sizes),
+        rng=np.random.default_rng(args.seed),
+    )
+    amort = amortization_sweep(
+        sequential, batched, roots, batch_sizes=batch_sizes
+    )
+    print(ascii_table(
+        ["batch", "sim s/query", "sequential s", "amortization",
+         "bytes ratio", "waves"],
+        [
+            [p.batch_size, f"{p.amortized_seconds:.3e}",
+             f"{p.sequential_seconds:.3e}",
+             f"{p.amortization_factor:.1f}x",
+             f"{p.batch_bytes / p.sequential_bytes:.2f}", p.waves]
+            for p in amort
+        ],
+        title=f"amortized simulated cost per query "
+              f"(SCALE {args.scale}, {rows}x{cols}):",
+    ))
+    depths = [int(d) for d in args.queue_depths.split(",") if d.strip()]
+    windows = [float(w) for w in args.windows.split(",") if w.strip()]
+    points = service_sweep(
+        batched, batched.part.degrees,
+        num_queries=args.queries, seed=args.seed,
+        batch_sizes=(max(batch_sizes),),
+        queue_depths=depths, batch_windows=windows, clients=args.clients,
+    )
+    print()
+    print(ascii_table(
+        ["depth", "window", "served", "hit rate", "mean batch",
+         "qps", "p50", "p99"],
+        [
+            [p.queue_depth, f"{p.batch_window * 1e3:g}ms", p.served,
+             f"{100 * p.cache_hit_rate:.0f}%", f"{p.mean_batch_size:.1f}",
+             f"{p.qps:.0f}", f"{p.p50_seconds * 1e3:.1f}ms",
+             f"{p.p99_seconds * 1e3:.1f}ms"]
+            for p in points
+        ],
+        title=f"end-to-end service sweep ({args.queries} queries):",
+    ))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({
+            "schema": "repro.bench_serve/1",
+            "config": dict(
+                scale=args.scale, rows=rows, cols=cols, seed=args.seed,
+                queries=args.queries,
+            ),
+            "amortization": [p.to_dict() for p in amort],
+            "service": [p.to_dict() for p in points],
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"json: {out}")
+    return 0
+
+
 _COMMANDS = {
     "graph500": _cmd_graph500,
     "bfs": _cmd_bfs,
@@ -574,6 +794,8 @@ _COMMANDS = {
     "ocs": _cmd_ocs,
     "sssp": _cmd_sssp,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

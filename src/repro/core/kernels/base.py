@@ -68,6 +68,37 @@ class ComponentKernel(ABC):
         iteration see the fresh state (§4.2's freshness rule).
         """
 
+    def execute_lanes(
+        self,
+        direction: str,
+        group_lanes,
+        lanes,
+        ledger: TrafficLedger,
+        record: IterationRecord,
+    ) -> list:
+        """Run one sub-iteration for the lane group ``group_lanes`` of a
+        batched (multi-source) wave.
+
+        ``lanes`` is a :class:`~repro.core.lanes.LaneState`;
+        ``group_lanes`` is the uint64 lane-bit mask of the lanes that
+        chose ``direction`` this wave (lanes are grouped by direction so
+        each lane's parents stay bit-identical to its sequential run).
+        Charges the *shared* batched cost to ``ledger`` and returns a
+        list of ``(lane, dsts, parents)`` activation triples, which the
+        scheduler commits through ``LaneState.commit``.
+
+        Kernels that cannot execute batched waves leave this
+        unimplemented; the batch scheduler refuses to mount them.
+        """
+        raise NotImplementedError(
+            f"kernel {type(self).__name__} does not support lane batching"
+        )
+
+    @property
+    def supports_lanes(self) -> bool:
+        """Whether :meth:`execute_lanes` is implemented."""
+        return type(self).execute_lanes is not ComponentKernel.execute_lanes
+
 
 class KernelRegistry:
     """Component name -> :class:`ComponentKernel` subclass.

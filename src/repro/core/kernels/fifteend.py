@@ -35,6 +35,7 @@ from repro.core.balance import vertex_cut_imbalance
 from repro.core.config import BFSConfig
 from repro.core.direction import ClassState
 from repro.core.kernels.base import EMPTY_ACTIVATION, ComponentKernel, KernelRegistry
+from repro.core.lanes import iter_lanes, lane_bit
 from repro.core.partition import PartitionedGraph
 from repro.core.segmenting import plan_segmenting
 from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
@@ -45,9 +46,14 @@ __all__ = [
     "FIFTEEND_KERNELS",
     "build_fifteend_kernels",
     "MESSAGE_BYTES",
+    "LANE_MESSAGE_BYTES",
 ]
 
 MESSAGE_BYTES = 8
+#: A batched-wave message carries the 8-byte vertex ID plus the 64-bit
+#: lane word, so up to 64 lanes share one message where sequential runs
+#: would each send their own.
+LANE_MESSAGE_BYTES = 16
 
 #: The six 1.5D kernels, keyed by component name.
 FIFTEEND_KERNELS = KernelRegistry()
@@ -99,6 +105,15 @@ class FifteenDContext:
         return float(min(-(-bitmap_bits // 8), sparse_count * 8))
 
     @staticmethod
+    def sync_bytes_lanes(bitmap_bits: int, sparse_count: int, num_lanes: int) -> float:
+        """Lane-word variant of :meth:`sync_bytes`: the packed bitmap
+        widens by the lane count, a sparse entry carries its vertex ID
+        plus the 64-bit lane word."""
+        return float(
+            min(-(-bitmap_bits * num_lanes // 8), sparse_count * LANE_MESSAGE_BYTES)
+        )
+
+    @staticmethod
     def split_bytes(nbytes: float, split: tuple[float, float]) -> tuple[float, float]:
         return nbytes * split[0], nbytes * split[1]
 
@@ -112,9 +127,12 @@ class FifteenDContext:
     # shared charging paths
     # ------------------------------------------------------------------
 
-    def charge_row_alltoallv(self, name, send_msgs_per_rank, ledger):
-        """Intra-row alltoallv of 8-byte messages (H2L / L2H routing)."""
-        max_bytes = float(send_msgs_per_rank.max()) * MESSAGE_BYTES
+    def charge_row_alltoallv(
+        self, name, send_msgs_per_rank, ledger, message_bytes=MESSAGE_BYTES
+    ):
+        """Intra-row alltoallv of fixed-size messages (H2L / L2H routing);
+        batched waves pass ``message_bytes=LANE_MESSAGE_BYTES``."""
+        max_bytes = float(send_msgs_per_rank.max()) * message_bytes
         intra, inter = self.split_bytes(max_bytes, self.split_row)
         ledger.charge_collective(
             name,
@@ -122,17 +140,19 @@ class FifteenDContext:
             participants=self.mesh.cols,
             max_bytes_intra=intra,
             max_bytes_inter=inter,
-            total_bytes=float(send_msgs_per_rank.sum()) * MESSAGE_BYTES,
+            total_bytes=float(send_msgs_per_rank.sum()) * message_bytes,
         )
 
-    def charge_l2l_alltoallv(self, sender_rank, dest_rank, ledger):
+    def charge_l2l_alltoallv(
+        self, sender_rank, dest_rank, ledger, message_bytes=MESSAGE_BYTES
+    ):
         """Two-stage forwarded global alltoallv (§4.4): sender's column to
         the intersection rank, then the destination's row."""
         fwd_rank = (
             self.mesh.row_of(dest_rank) * self.mesh.cols
             + self.mesh.col_of(sender_rank)
         )
-        stage1 = np.bincount(sender_rank, minlength=self.num_ranks) * MESSAGE_BYTES
+        stage1 = np.bincount(sender_rank, minlength=self.num_ranks) * message_bytes
         intra, inter = self.split_bytes(float(stage1.max()), self.split_col)
         ledger.charge_collective(
             "L2L",
@@ -143,7 +163,7 @@ class FifteenDContext:
             total_bytes=float(stage1.sum()),
         )
         self.charge_receiver_kernel("L2L", fwd_rank, ledger, "forward")
-        stage2 = np.bincount(fwd_rank, minlength=self.num_ranks) * MESSAGE_BYTES
+        stage2 = np.bincount(fwd_rank, minlength=self.num_ranks) * message_bytes
         intra, inter = self.split_bytes(float(stage2.max()), self.split_row)
         ledger.charge_collective(
             "L2L",
@@ -207,10 +227,15 @@ class FifteenDContext:
                     total_bytes=float(row_bytes) * self.mesh.cols,
                 )
 
-    def charge_parent_reduction(self, ledger):
-        """Reduce delegated parent arrays to their owners (§5)."""
+    def charge_parent_reduction(self, ledger, num_lanes: int = 1):
+        """Reduce delegated parent arrays to their owners (§5).
+
+        A batched wave reduces one parent array per lane, so the bytes
+        scale with ``num_lanes`` — but the collective launch overhead is
+        paid once, which is part of the batch amortization.
+        """
         if self.part.num_e:
-            e_bytes = float(self.part.num_e) * 8
+            e_bytes = float(self.part.num_e) * 8 * num_lanes
             intra, inter = self.split_bytes(e_bytes, self.split_global)
             ledger.charge_collective(
                 "reduce",
@@ -221,7 +246,7 @@ class FifteenDContext:
                 total_bytes=e_bytes * self.num_ranks,
             )
         if self.part.num_h and self.mesh.rows > 1:
-            col_bytes = float(self.part.col_eh_counts.max()) * 8
+            col_bytes = float(self.part.col_eh_counts.max()) * 8 * num_lanes
             intra, inter = self.split_bytes(col_bytes, self.split_col)
             ledger.charge_collective(
                 "reduce",
@@ -231,6 +256,55 @@ class FifteenDContext:
                 inter,
                 total_bytes=col_bytes * self.mesh.rows,
             )
+
+    def charge_delegate_sync_lanes(self, ledger, lanes):
+        """Batched-wave variant of :meth:`charge_delegate_sync`: one
+        exchange syncs every lane's delegated frontier bits — lane-word
+        bitmaps or sparse (id, lane-word) entries, whichever is cheaper."""
+        p = self.num_ranks
+        any_active = lanes.active != 0
+        num_lanes = lanes.num_lanes
+        if self.part.num_e:
+            active_e = int(np.count_nonzero(any_active & self.masks["E"]))
+            e_bytes = self.sync_bytes_lanes(self.part.num_e, active_e, num_lanes)
+            intra, inter = self.split_bytes(float(e_bytes), self.split_global)
+            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
+                ledger.charge_collective(
+                    "other", kind, p, intra, inter, total_bytes=float(e_bytes) * p
+                )
+        active_h = int(np.count_nonzero(any_active & self.masks["H"]))
+        if self.part.num_h and self.mesh.rows > 1:
+            col_bytes = self.sync_bytes_lanes(
+                int(self.part.col_eh_counts.max()),
+                -(-active_h // self.mesh.cols),
+                num_lanes,
+            )
+            intra, inter = self.split_bytes(float(col_bytes), self.split_col)
+            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
+                ledger.charge_collective(
+                    "other",
+                    kind,
+                    self.mesh.rows,
+                    intra,
+                    inter,
+                    total_bytes=float(col_bytes) * self.mesh.rows,
+                )
+        if self.part.num_h and self.mesh.cols > 1:
+            row_bytes = self.sync_bytes_lanes(
+                int(self.part.row_eh_counts.max()),
+                -(-active_h // self.mesh.rows),
+                num_lanes,
+            )
+            intra, inter = self.split_bytes(float(row_bytes), self.split_row)
+            for kind in (CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALLGATHER):
+                ledger.charge_collective(
+                    "other",
+                    kind,
+                    self.mesh.cols,
+                    intra,
+                    inter,
+                    total_bytes=float(row_bytes) * self.mesh.cols,
+                )
 
 
 class _FifteenDKernel(ComponentKernel):
@@ -268,12 +342,28 @@ class _FifteenDKernel(ComponentKernel):
     def route_pull_hits(self, scan, ledger, record) -> None:
         """Charge delivery of bottom-up hits to their owners (if remote)."""
 
+    # -- batched-wave policy hooks (lane-word message variants) ---------
+
+    def route_push_lanes(self, sel, ledger, record) -> None:
+        """Charge the remote traffic of a batched push (nothing if local)."""
+
+    def charge_pull_prereq_lanes(self, ledger, lanes, group_lanes) -> None:
+        """Charge remote state a batched pull needs first (if any)."""
+
+    def route_pull_hits_lanes(self, scan, ledger, record) -> None:
+        """Charge delivery of batched bottom-up hits (if remote)."""
+
     # -- execution ------------------------------------------------------
 
     def execute(self, direction, active, visited, ledger, record):
         if direction == "push":
             return self._execute_push(active, visited, ledger, record)
         return self._execute_pull(active, visited, ledger, record)
+
+    def execute_lanes(self, direction, group_lanes, lanes, ledger, record):
+        if direction == "push":
+            return self._execute_push_lanes(group_lanes, lanes, ledger, record)
+        return self._execute_pull_lanes(group_lanes, lanes, ledger, record)
 
     def _execute_push(self, active, visited, ledger, record):
         ctx, name = self.ctx, self.name
@@ -303,6 +393,63 @@ class _FifteenDKernel(ComponentKernel):
         if scan.num_hits:
             self.route_pull_hits(scan, ledger, record)
         return scan.hit_dst, scan.hit_src
+
+    def _execute_push_lanes(self, group_lanes, lanes, ledger, record):
+        """Top-down sweep shared by the lanes of ``group_lanes``.
+
+        One arc selection covers the union frontier; lane ``l``'s subset
+        of the selection (arcs whose source carries bit ``l``) is exactly
+        the selection of that lane's sequential run in the same order, so
+        the per-lane first-writer-per-destination parents are identical.
+        """
+        ctx, name = self.ctx, self.name
+        group = np.uint64(group_lanes)
+        act_bits = lanes.active & group
+        union_active = act_bits != 0
+        sel = self.comp.push_select(union_active)
+        per_rank = sel.per_rank(ctx.num_ranks)
+        record.scanned_arcs[name] = (
+            record.scanned_arcs.get(name, 0) + sel.num_arcs
+        )
+        seconds = self.push_seconds(per_rank, union_active)
+        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+        if sel.num_arcs == 0:
+            return []
+        self.route_push_lanes(sel, ledger, record)
+        # Per (arc, lane): fresh iff the source is active and the
+        # destination unvisited in that lane.
+        hit_bits = act_bits[sel.src] & ~lanes.visited[sel.dst] & group
+        if not hit_bits.any():
+            return []
+        updates = []
+        for lane in iter_lanes(group):
+            mask = (hit_bits & lane_bit(lane)) != 0
+            if not mask.any():
+                continue
+            uniq, first = np.unique(sel.dst[mask], return_index=True)
+            updates.append((lane, uniq, sel.src[mask][first]))
+        return updates
+
+    def _execute_pull_lanes(self, group_lanes, lanes, ledger, record):
+        """Bottom-up scan shared by the lanes of ``group_lanes`` (the
+        generic grouped-scan path; L2L overrides with its query/reply
+        messaging)."""
+        ctx, name = self.ctx, self.name
+        group = np.uint64(group_lanes)
+        self.charge_pull_prereq_lanes(ledger, lanes, group)
+        scan = self.comp.pull_scan_lanes(
+            ~lanes.visited & group, lanes.active & group, group
+        )
+        record.scanned_arcs[name] = (
+            record.scanned_arcs.get(name, 0) + scan.scanned_arcs
+        )
+        seconds = ctx.kernel_time(
+            int(scan.scanned_per_rank.max()), self.pull_rate()
+        )
+        ledger.charge_compute(name, f"pull:{name}", scan.scanned_per_rank, seconds)
+        if scan.num_messages:
+            self.route_pull_hits_lanes(scan, ledger, record)
+        return scan.updates
 
 
 @FIFTEEND_KERNELS.register("EH2EH")
@@ -387,6 +534,30 @@ class _RowMessageKernel(_FifteenDKernel):
         recv_rank = self.owner_of_dst(scan.hit_dst, scan.hit_rank)
         ctx.charge_receiver_kernel(name, recv_rank, ledger, "pull_recv")
 
+    def route_push_lanes(self, sel, ledger, record):
+        # One 16-byte message per selected arc carries all lanes' bits.
+        ctx, name = self.ctx, self.name
+        record.messages[name] = record.messages.get(name, 0) + sel.num_arcs
+        ctx.charge_row_alltoallv(
+            name,
+            np.bincount(sel.rank, minlength=ctx.num_ranks),
+            ledger,
+            message_bytes=LANE_MESSAGE_BYTES,
+        )
+        recv_rank = self.owner_of_dst(sel.dst, sel.rank)
+        ctx.charge_receiver_kernel(name, recv_rank, ledger, "push_recv")
+
+    def route_pull_hits_lanes(self, scan, ledger, record):
+        # Unique (dst, rank) winners across lanes share one message each.
+        ctx, name = self.ctx, self.name
+        record.messages[name] = record.messages.get(name, 0) + scan.num_messages
+        send_per_rank = np.bincount(scan.msg_rank, minlength=ctx.num_ranks)
+        ctx.charge_row_alltoallv(
+            name, send_per_rank, ledger, message_bytes=LANE_MESSAGE_BYTES
+        )
+        recv_rank = self.owner_of_dst(scan.msg_dst, scan.msg_rank)
+        ctx.charge_receiver_kernel(name, recv_rank, ledger, "pull_recv")
+
 
 @FIFTEEND_KERNELS.register("H2L")
 class H2LKernel(_RowMessageKernel):
@@ -400,6 +571,26 @@ class H2LKernel(_RowMessageKernel):
         unvisited_l = int(np.count_nonzero(~visited & ctx.masks["L"]))
         row_bits = ctx.block_bytes * 8 * ctx.mesh.cols
         recv = ctx.sync_bytes(row_bits, -(-unvisited_l // ctx.mesh.rows))
+        intra, inter = ctx.split_bytes(recv, ctx.split_row)
+        ledger.charge_collective(
+            self.name,
+            CollectiveKind.ALLGATHER,
+            participants=ctx.mesh.cols,
+            max_bytes_intra=intra,
+            max_bytes_inter=inter,
+            total_bytes=recv * ctx.mesh.cols,
+        )
+
+    def charge_pull_prereq_lanes(self, ledger, lanes, group_lanes):
+        # Same row allgather, but one exchange ships every lane's
+        # unvisited-L bits: lane-word bitmaps or (id, lane-word) entries.
+        ctx = self.ctx
+        cand = (~lanes.visited & group_lanes) != 0
+        unvisited_l = int(np.count_nonzero(cand & ctx.masks["L"]))
+        row_bits = ctx.block_bytes * 8 * ctx.mesh.cols
+        recv = ctx.sync_bytes_lanes(
+            row_bits, -(-unvisited_l // ctx.mesh.rows), lanes.num_lanes
+        )
         intra, inter = ctx.split_bytes(recv, ctx.split_row)
         ledger.charge_collective(
             self.name,
@@ -438,6 +629,15 @@ class L2LKernel(_FifteenDKernel):
         ctx.charge_l2l_alltoallv(sel.rank, o_dst, ledger)
         ctx.charge_receiver_kernel("L2L", o_dst, ledger, "push_recv")
 
+    def route_push_lanes(self, sel, ledger, record):
+        ctx = self.ctx
+        record.messages["L2L"] = record.messages.get("L2L", 0) + sel.num_arcs
+        o_dst = ctx.mesh.owner_of(sel.dst, ctx.num_vertices)
+        ctx.charge_l2l_alltoallv(
+            sel.rank, o_dst, ledger, message_bytes=LANE_MESSAGE_BYTES
+        )
+        ctx.charge_receiver_kernel("L2L", o_dst, ledger, "push_recv")
+
     def _execute_pull(self, active, visited, ledger, record):
         """Bottom-up L2L via batched query/reply messages.
 
@@ -471,6 +671,46 @@ class L2LKernel(_FifteenDKernel):
         v_h, u_h = sel.src[hits], sel.dst[hits]
         uniq, first = np.unique(v_h, return_index=True)
         return uniq, u_h[first]
+
+    def _execute_pull_lanes(self, group_lanes, lanes, ledger, record):
+        """Batched query/reply L2L pull: one query covers every lane in
+        which the source is still unvisited; lane ``l``'s hits are the
+        arcs whose source carries the candidate bit and whose neighbor
+        carries the active bit — the sequential rule per lane."""
+        ctx = self.ctx
+        group = np.uint64(group_lanes)
+        cand_bits = ~lanes.visited & group
+        sel = self.comp.push_select(cand_bits != 0)
+        per_rank = sel.per_rank(ctx.num_ranks)
+        record.scanned_arcs["L2L"] = (
+            record.scanned_arcs.get("L2L", 0) + sel.num_arcs
+        )
+        seconds = ctx.kernel_time(int(per_rank.max()), ctx.message_rate())
+        ledger.charge_compute("L2L", "pull:L2L", per_rank, seconds)
+        if sel.num_arcs:
+            record.messages["L2L"] = (
+                record.messages.get("L2L", 0) + 2 * sel.num_arcs
+            )
+            o_peer = ctx.mesh.owner_of(sel.dst, ctx.num_vertices)
+            ctx.charge_l2l_alltoallv(
+                sel.rank, o_peer, ledger, message_bytes=LANE_MESSAGE_BYTES
+            )
+            ctx.charge_receiver_kernel("L2L", o_peer, ledger, "pull_query")
+            ctx.charge_l2l_alltoallv(
+                o_peer, sel.rank, ledger, message_bytes=LANE_MESSAGE_BYTES
+            )
+            ctx.charge_receiver_kernel("L2L", sel.rank, ledger, "pull_reply")
+        hit_bits = cand_bits[sel.src] & (lanes.active & group)[sel.dst]
+        if not hit_bits.any():
+            return []
+        updates = []
+        for lane in iter_lanes(group):
+            mask = (hit_bits & lane_bit(lane)) != 0
+            if not mask.any():
+                continue
+            uniq, first = np.unique(sel.src[mask], return_index=True)
+            updates.append((lane, uniq, sel.dst[mask][first]))
+        return updates
 
 
 def build_fifteend_kernels(ctx: FifteenDContext, order) -> dict[str, ComponentKernel]:

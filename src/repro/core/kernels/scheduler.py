@@ -31,14 +31,37 @@ families documented in :mod:`repro.runtime.ledger`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.core.lanes import LaneState
 from repro.core.metrics import BFSRunResult, IterationRecord
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.ledger import TrafficLedger
 
-__all__ = ["LevelSyncScheduler", "SchedulerHost"]
+__all__ = ["LevelSyncScheduler", "SchedulerHost", "BatchRunState"]
+
+
+@dataclass
+class BatchRunState:
+    """Raw outcome of a batched (multi-source) scheduler run.
+
+    The serving layer's :class:`~repro.serve.msbfs.MSBFSResult` wraps
+    this into per-root views; the scheduler only guarantees the lane
+    semantics: ``lanes.parent[l]`` is bit-identical to the parent array
+    of a sequential run from ``lanes.roots[l]``.
+    """
+
+    lanes: LaneState
+    #: One record per wave, with batch-aggregate counters.
+    records: list[IterationRecord]
+    ledger: TrafficLedger
+    #: Per wave: per-lane frontier sizes (``int64[num_lanes]``).
+    lane_frontiers: list[np.ndarray] = field(default_factory=list)
+    #: Per wave: ``{component: (push_lane_mask, pull_lane_mask)}``.
+    lane_directions: list[dict] = field(default_factory=list)
 
 
 class SchedulerHost:
@@ -98,6 +121,32 @@ class SchedulerHost:
     def end_run(self, ledger, tracer: Tracer, parent) -> None:
         """Run-end work (inside the ``bfs`` span): the §5 delayed parent
         reduction, final barriers, delegate parent merges."""
+
+    # -- batched-wave hooks (multi-source runs; see ``run_batch``) ------
+
+    def begin_batch_iteration(self, ledger, lanes) -> None:
+        """Price the batched frontier sync of one wave."""
+
+    def batch_iteration_directions(self, lanes):
+        """``(push_mask, pull_mask)`` lane groups for the whole wave, or
+        ``None`` to ask :meth:`batch_component_directions` freshly per
+        sub-iteration (mirrors :meth:`iteration_direction`)."""
+        return None
+
+    def batch_component_directions(self, name, lanes) -> tuple:
+        """``(push_mask, pull_mask)`` lane groups for one component,
+        measured per lane against the latest visited state — each lane
+        gets the direction its sequential run would have chosen."""
+        raise NotImplementedError
+
+    def record_batch_activation(self, record: IterationRecord, newly) -> None:
+        """Fill ``record.newly_activated`` from the wave's lane words."""
+
+    def end_batch_iteration(self, ledger, record, lanes, newly) -> None:
+        """Wave-end work (eager parent reductions, barriers)."""
+
+    def end_batch_run(self, ledger, tracer: Tracer, lanes) -> None:
+        """Batch-end work (the §5 delayed parent reduction, per lane)."""
 
 
 class LevelSyncScheduler:
@@ -305,3 +354,150 @@ class LevelSyncScheduler:
                     ledger=ledger, root=root, iteration=it, parent=parent,
                     visited=visited, active=active, records=iterations,
                 )
+
+    # ------------------------------------------------------------------
+    # batched (multi-source) waves
+    # ------------------------------------------------------------------
+
+    def run_batch(self, roots, *, faults=None) -> BatchRunState:
+        """Run up to 64 BFS lanes as one level-synchronous traversal.
+
+        Each *wave* advances every live lane by one level: the host
+        prices one shared frontier sync, each component picks a
+        direction *per lane* (grouping lanes so every lane still gets
+        the direction — and therefore the parents — of its sequential
+        run), and each direction group executes the component once for
+        all its lanes.  Traffic is charged through the same ledger choke
+        point as sequential runs, with lane-word message sizes.
+
+        ``faults`` mirrors :meth:`run`: crash faults abort the *batch*
+        with a :class:`~repro.resilience.faults.RankCrashError` annotated
+        with the partial ledger — callers replay the whole batch
+        (checkpoint/resume is per-root machinery and is not supported
+        here).
+        """
+        host = self.host
+        tracer = self.tracer
+        metrics = self.metrics
+        for name, kernel in self.kernels.items():
+            if kernel.num_arcs and not kernel.supports_lanes:
+                raise NotImplementedError(
+                    f"kernel {name} does not support batched waves"
+                )
+        lanes = LaneState(host.num_vertices, roots)
+        ledger = host.make_ledger(tracer, metrics)
+        if faults is not None and faults.enabled:
+            ledger.faults = faults
+        records: list[IterationRecord] = []
+        lane_frontiers: list[np.ndarray] = []
+        lane_directions: list[dict] = []
+        metrics.counter("msbfs_batches").inc()
+        metrics.histogram("msbfs_batch_lanes").observe(lanes.num_lanes)
+
+        with tracer.span("msbfs", category="bfs", lanes=lanes.num_lanes):
+            try:
+                for it in range(host.config.max_iterations):
+                    if faults is not None:
+                        faults.begin_iteration(it)
+                    per_lane = lanes.frontier_sizes()
+                    frontier = int(per_lane.sum())
+                    if frontier == 0:
+                        break
+                    metrics.counter("msbfs_waves").inc()
+                    metrics.histogram("frontier_size").observe(frontier)
+                    with tracer.span(
+                        "wave", category="iteration", index=it, frontier=frontier
+                    ):
+                        self._wave(
+                            host, ledger, lanes, it, records,
+                            lane_frontiers, lane_directions, per_lane,
+                        )
+            except Exception as exc:
+                from repro.resilience.faults import RankCrashError
+
+                if isinstance(exc, RankCrashError):
+                    exc.ledger = ledger
+                    exc.completed_iterations = len(records)
+                if faults is not None:
+                    faults.end_run()
+                raise
+            host.end_batch_run(ledger, tracer, lanes)
+        if faults is not None:
+            faults.end_run()
+        return BatchRunState(
+            lanes=lanes,
+            records=records,
+            ledger=ledger,
+            lane_frontiers=lane_frontiers,
+            lane_directions=lane_directions,
+        )
+
+    def _wave(
+        self, host, ledger, lanes, it, records,
+        lane_frontiers, lane_directions, per_lane,
+    ) -> None:
+        """One batched level: sync, per-component direction groups,
+        shared execution, commit (§4.2 freshness per sub-iteration)."""
+        tracer = self.tracer
+        metrics = self.metrics
+        host.begin_batch_iteration(ledger, lanes)
+        record = IterationRecord(
+            index=it, frontier_size=int(per_lane.sum())
+        )
+        whole = host.batch_iteration_directions(lanes)
+        metrics.counter(
+            "direction_mode", mode="fresh" if whole is None else "whole"
+        ).inc()
+        newly_total = np.zeros(host.num_vertices, dtype=np.uint64)
+        dirs_this = {}
+        for name, kernel in self.kernels.items():
+            if kernel.num_arcs == 0:
+                record.directions[name] = "-"
+                metrics.counter("subiteration_skips", component=name).inc()
+                continue
+            if whole is None:
+                push_mask, pull_mask = host.batch_component_directions(
+                    name, lanes
+                )
+            else:
+                push_mask, pull_mask = whole
+            dirs_this[name] = (int(push_mask), int(pull_mask))
+            ran = []
+            for direction, group in (("push", push_mask), ("pull", pull_mask)):
+                if not int(group):
+                    continue
+                ran.append(direction)
+                with tracer.span(
+                    name,
+                    category="component",
+                    iteration=it,
+                    direction=direction,
+                ) as csp:
+                    updates = kernel.execute_lanes(
+                        direction, group, lanes, ledger, record
+                    )
+                    newly = lanes.commit(updates)
+                    newly_total |= newly
+                    activated = sum(int(d.size) for _, d, _ in updates)
+                    csp.add_counter(
+                        "edges", record.scanned_arcs.get(name, 0)
+                    )
+                    if record.messages.get(name, 0):
+                        csp.add_counter("messages", record.messages[name])
+                    csp.add_counter("activated", activated)
+                labels = dict(component=name, direction=direction)
+                metrics.counter("subiterations", **labels).inc()
+                metrics.counter("activated", **labels).inc(activated)
+            record.directions[name] = "|".join(ran) if ran else "-"
+            metrics.counter(
+                "edges_scanned", component=name, direction=record.directions[name]
+            ).inc(record.scanned_arcs.get(name, 0))
+            metrics.counter(
+                "messages", component=name, direction=record.directions[name]
+            ).inc(record.messages.get(name, 0))
+        host.record_batch_activation(record, newly_total)
+        host.end_batch_iteration(ledger, record, lanes, newly_total)
+        records.append(record)
+        lane_frontiers.append(per_lane)
+        lane_directions.append(dirs_this)
+        lanes.active = newly_total

@@ -1,0 +1,173 @@
+"""Bit-packed lane state for multi-source (batched) traversal.
+
+A *lane* is one BFS rooted at one vertex.  Up to 64 lanes share a single
+level-synchronous wave: per vertex, one ``uint64`` word holds the lane
+membership bits of the frontier (``active``) and of the visited set
+(``visited``), so a batched sub-iteration touches each arc once for all
+lanes instead of once per root (Buluç & Madduri's amortization argument;
+"MS-BFS" bit-parallelism).
+
+The representation is deliberately *exact* with respect to the
+sequential engine: lane ``l``'s view of ``active``/``visited`` — bit
+``l`` of each word — evolves exactly as the boolean masks of a
+single-root run from ``roots[l]`` would, because the batched kernels
+select the same arcs in the same deterministic order per lane.  That is
+what lets the serving layer promise parent trees bit-identical to
+per-root runs.
+
+Everything here is engine-agnostic: plain bit plumbing plus the per-lane
+class population counters the §4.2 direction heuristics need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_LANES",
+    "LaneState",
+    "LaneClassState",
+    "lane_bit",
+    "iter_lanes",
+    "lane_population",
+    "all_lanes_mask",
+]
+
+#: Width of the lane word: one bit per concurrent root.
+MAX_LANES = 64
+
+_ONE = np.uint64(1)
+
+
+def lane_bit(lane: int) -> np.uint64:
+    """The single-bit mask of lane ``lane``."""
+    return _ONE << np.uint64(lane)
+
+
+def all_lanes_mask(num_lanes: int) -> np.uint64:
+    """Mask with the low ``num_lanes`` bits set."""
+    if not 1 <= num_lanes <= MAX_LANES:
+        raise ValueError(f"num_lanes must be in [1, {MAX_LANES}]")
+    if num_lanes == MAX_LANES:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << num_lanes) - 1)
+
+
+def iter_lanes(mask) -> list[int]:
+    """Lane indices whose bit is set in ``mask`` (ascending)."""
+    m = int(mask)
+    lanes = []
+    while m:
+        low = m & -m
+        lanes.append(low.bit_length() - 1)
+        m ^= low
+    return lanes
+
+
+def lane_population(bits: np.ndarray, num_lanes: int = MAX_LANES) -> np.ndarray:
+    """Per-lane set-bit counts of a lane-word array.
+
+    One vectorized pass: explode each ``uint64`` into its 64 bits
+    (little-endian, so column ``l`` is lane ``l``) and sum columns.
+    """
+    if bits.size == 0:
+        return np.zeros(num_lanes, dtype=np.int64)
+    as_bytes = bits.view(np.uint8).reshape(bits.size, 8)
+    if not np.little_endian:  # pragma: no cover - big-endian hosts
+        as_bytes = as_bytes[:, ::-1]
+    cols = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return cols.sum(axis=0, dtype=np.int64)[:num_lanes]
+
+
+class LaneState:
+    """Frontier/visited/parent state of up to 64 concurrent BFS lanes."""
+
+    def __init__(self, num_vertices: int, roots) -> None:
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.ndim != 1 or not 1 <= roots.size <= MAX_LANES:
+            raise ValueError(
+                f"batch must hold 1..{MAX_LANES} roots, got shape {roots.shape}"
+            )
+        if np.unique(roots).size != roots.size:
+            raise ValueError("batch roots must be distinct")
+        if roots.size and (roots.min() < 0 or roots.max() >= num_vertices):
+            raise ValueError(f"root out of range for n={num_vertices}")
+        self.num_vertices = int(num_vertices)
+        self.num_lanes = int(roots.size)
+        self.roots = roots
+        self.lane_mask = all_lanes_mask(self.num_lanes)
+        #: Lane membership bits of the current frontier, per vertex.
+        self.active = np.zeros(num_vertices, dtype=np.uint64)
+        #: Lane membership bits of the visited set, per vertex.
+        self.visited = np.zeros(num_vertices, dtype=np.uint64)
+        #: Per-lane parent trees, ``parent[lane, vertex]``.
+        self.parent = np.full((self.num_lanes, num_vertices), -1, dtype=np.int64)
+        for lane, root in enumerate(roots):
+            bit = lane_bit(lane)
+            self.active[root] |= bit
+            self.visited[root] |= bit
+            self.parent[lane, root] = root
+
+    @property
+    def active_lane_mask(self) -> np.uint64:
+        """Bits of lanes whose frontier is non-empty."""
+        return np.bitwise_or.reduce(self.active) if self.active.size else np.uint64(0)
+
+    def frontier_sizes(self) -> np.ndarray:
+        """Per-lane frontier vertex counts."""
+        return lane_population(self.active, self.num_lanes)
+
+    def commit(self, updates) -> np.ndarray:
+        """Apply a sub-iteration's per-lane activations.
+
+        ``updates`` is a list of ``(lane, dsts, parents)`` triples; the
+        destinations of each lane must be fresh (unvisited in that lane).
+        Returns the lane-bit array of newly activated (vertex, lane)
+        pairs, already OR-ed into ``visited`` so the next sub-iteration
+        of the same wave sees it (§4.2 freshness).
+        """
+        newly = np.zeros(self.num_vertices, dtype=np.uint64)
+        for lane, dsts, parents in updates:
+            if dsts.size == 0:
+                continue
+            bit = lane_bit(lane)
+            self.parent[lane, dsts] = parents
+            newly[dsts] |= bit
+        self.visited |= newly
+        return newly
+
+
+class LaneClassState:
+    """Per-lane active/unvisited ratios per degree class (§4.2 inputs).
+
+    The sequential engine measures ``(active_ratio, unvisited_ratio)``
+    per class as integer population counts divided by the class size;
+    this reproduces exactly those integers per lane, so per-lane
+    direction decisions are bit-equal to the decisions each sequential
+    run would have made at the same level.
+    """
+
+    def __init__(self, class_masks: dict[str, np.ndarray]) -> None:
+        self._indices = {
+            name: np.flatnonzero(mask) for name, mask in class_masks.items()
+        }
+        self.sizes = {name: int(idx.size) for name, idx in self._indices.items()}
+
+    def measure(self, lanes: LaneState) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """``{class: (active_ratio[num_lanes], unvisited_ratio[num_lanes])}``."""
+        out = {}
+        num_lanes = lanes.num_lanes
+        mask = lanes.lane_mask
+        for name, idx in self._indices.items():
+            size = self.sizes[name]
+            if size == 0:
+                zero = np.zeros(num_lanes, dtype=np.float64)
+                out[name] = (zero, zero.copy())
+                continue
+            act = lane_population(lanes.active[idx], num_lanes)
+            unvis = lane_population(~lanes.visited[idx] & mask, num_lanes)
+            out[name] = (
+                act.astype(np.float64) / size,
+                unvis.astype(np.float64) / size,
+            )
+        return out

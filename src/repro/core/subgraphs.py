@@ -32,7 +32,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SubgraphComponent", "PushSelection", "PullScan", "COMPONENT_ORDER"]
+__all__ = [
+    "SubgraphComponent",
+    "PushSelection",
+    "PullScan",
+    "LanePullScan",
+    "COMPONENT_ORDER",
+]
 
 #: Execution order within an iteration: densest (highest-degree endpoints)
 #: first, so later sub-iterations see the freshest visited state (§4.2).
@@ -71,6 +77,30 @@ class PullScan:
     @property
     def num_hits(self) -> int:
         return int(self.hit_dst.size)
+
+    @property
+    def scanned_arcs(self) -> int:
+        return int(self.scanned_per_rank.sum())
+
+
+@dataclass(frozen=True)
+class LanePullScan:
+    """Result of a bottom-up sub-iteration shared by up to 64 lanes."""
+
+    #: Per-lane hits: ``(lane, hit_dst, hit_src)`` triples, each lane's
+    #: winners chosen by exactly the sequential :class:`PullScan` rule.
+    updates: list
+    #: Arcs scanned by each rank; a group's scan depth is the deepest
+    #: early exit any participating lane needed.
+    scanned_per_rank: np.ndarray
+    #: Unique (dst, rank) hit messages across all lanes — one wire
+    #: message carries a destination plus its 64-bit lane word.
+    msg_dst: np.ndarray
+    msg_rank: np.ndarray
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.msg_dst.size)
 
     @property
     def scanned_arcs(self) -> int:
@@ -252,3 +282,95 @@ class SubgraphComponent:
         g_dst, g_rank, g_src = g_dst[order], g_rank[order], g_src[order]
         uniq, first = np.unique(g_dst, return_index=True)
         return PullScan(uniq, g_src[first], g_rank[first], scanned_per_rank)
+
+    def pull_scan_lanes(
+        self, candidate_bits: np.ndarray, active_bits: np.ndarray, group_lanes
+    ) -> LanePullScan:
+        """Bottom-up scan shared by the lanes of ``group_lanes``.
+
+        ``candidate_bits``/``active_bits`` are per-vertex lane words
+        already restricted to the group's lanes.  Per lane the hits and
+        the early-exit depths are exactly what :meth:`pull_scan` would
+        produce for that lane's boolean masks; a group's *charged* scan
+        depth is the max over its participating lanes (the batched
+        kernel scans once and every lane reads the shared stream).
+        """
+        from repro.core.lanes import iter_lanes, lane_bit
+
+        empty = np.array([], dtype=np.int64)
+        no_scan = np.zeros(self.num_ranks, dtype=np.int64)
+        if self.num_groups == 0:
+            return LanePullScan([], no_scan, empty, empty)
+        grp_cand_bits = candidate_bits[self.grp_dst]
+        cand_groups = np.flatnonzero(grp_cand_bits != 0)
+        if cand_groups.size == 0:
+            return LanePullScan([], no_scan, empty, empty)
+        grp_cand_bits = grp_cand_bits[cand_groups]
+        starts = self.grp_ptr[cand_groups]
+        lens = self.grp_ptr[cand_groups + 1] - starts
+        total = int(lens.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        idx = np.repeat(starts, lens) + offs
+        srcs = self._pull_src[idx]
+        grp_of_arc = np.repeat(np.arange(cand_groups.size, dtype=np.int64), lens)
+        # An arc hits for lane l iff its source is active in l AND the
+        # group's destination is still a candidate in l.
+        hit_bits = active_bits[srcs] & grp_cand_bits[grp_of_arc]
+
+        scanned_max = np.zeros(cand_groups.size, dtype=np.int64)
+        updates = []
+        win_dst, win_rank = [], []
+        for lane in iter_lanes(group_lanes):
+            bit = lane_bit(lane)
+            lane_cand = (grp_cand_bits & bit) != 0
+            lane_hit = (hit_bits & bit) != 0
+            first_pos = np.full(cand_groups.size, -1, dtype=np.int64)
+            if np.any(lane_hit):
+                hit_idx = np.flatnonzero(lane_hit)
+                np.minimum.at(
+                    holder := np.full(cand_groups.size, total + 1, np.int64),
+                    grp_of_arc[hit_idx],
+                    offs[hit_idx],
+                )
+                found = holder <= total
+                first_pos[found] = holder[found]
+            # Early exit per lane: first hit + 1, the full group when the
+            # lane scanned it dry, nothing when the lane wasn't pulling
+            # this destination at all.
+            scanned_lane = np.where(
+                first_pos >= 0,
+                first_pos + 1,
+                np.where(lane_cand, lens, 0),
+            )
+            np.maximum(scanned_max, scanned_lane, out=scanned_max)
+            hit_groups = np.flatnonzero(first_pos >= 0)
+            if hit_groups.size == 0:
+                continue
+            g_dst = self.grp_dst[cand_groups[hit_groups]]
+            g_rank = self.grp_rank[cand_groups[hit_groups]]
+            g_src = self._pull_src[starts[hit_groups] + first_pos[hit_groups]]
+            order = np.lexsort((g_rank, g_dst))
+            g_dst, g_rank, g_src = g_dst[order], g_rank[order], g_src[order]
+            uniq, first = np.unique(g_dst, return_index=True)
+            updates.append((lane, uniq, g_src[first]))
+            win_dst.append(uniq)
+            win_rank.append(g_rank[first])
+
+        scanned_per_rank = np.bincount(
+            self.grp_rank[cand_groups],
+            weights=scanned_max,
+            minlength=self.num_ranks,
+        ).astype(np.int64)
+        if not win_dst:
+            return LanePullScan(updates, scanned_per_rank, empty, empty)
+        all_dst = np.concatenate(win_dst)
+        all_rank = np.concatenate(win_rank)
+        # One wire message per unique (dst, rank) pair — the lane word
+        # rides along, so overlapping lanes share the message.
+        key = all_dst * np.int64(self.num_ranks) + all_rank
+        _, first = np.unique(key, return_index=True)
+        return LanePullScan(
+            updates, scanned_per_rank, all_dst[first], all_rank[first]
+        )

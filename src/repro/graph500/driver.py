@@ -62,12 +62,22 @@ def sample_roots(
 
     Uniform over vertices with at least one edge, without replacement
     (the reference implementation deduplicates and resamples).
+
+    Consumes exactly **one** draw from ``rng`` regardless of the graph's
+    degree distribution or ``num_roots``: the actual selection runs on a
+    child generator seeded by that draw.  ``rng.choice`` would consume a
+    candidate-count-dependent number of draws, so anything sequenced
+    after root sampling (fault injection, workload seeding) would see a
+    generator state that shifts with graph shape — this keeps plain,
+    ``--faults``, and ``--batch-roots`` runs root-identical from
+    ``seed`` alone.
     """
     candidates = np.flatnonzero(degrees > 0)
     if candidates.size == 0:
         raise ValueError("graph has no non-isolated vertices to sample roots from")
     k = min(num_roots, candidates.size)
-    return rng.choice(candidates, size=k, replace=False).astype(np.int64)
+    child = np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+    return child.choice(candidates, size=k, replace=False).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -202,6 +212,7 @@ def run_graph500(
     checkpoint_every: int = 0,
     max_restarts: int = 3,
     recovery_mode: str = "restart",
+    batch_roots: bool = False,
 ) -> Graph500Report:
     """Run the full Graph500 benchmark flow on the simulated machine.
 
@@ -242,6 +253,15 @@ def run_graph500(
     max_restarts, recovery_mode:
         :class:`~repro.resilience.recovery.RecoveryPolicy` knobs applied
         when a crash fault fires (``restart`` or ``degrade``).
+    batch_roots:
+        Run the sampled roots through the multi-source batch engine
+        (:class:`~repro.serve.msbfs.MultiSourceBFS`, up to 64 roots per
+        traversal) instead of one sequential BFS per root.  Parent
+        arrays are bit-identical to the sequential path; reported
+        per-root times are each root's amortized share of its batch.
+        Incompatible with ``checkpoint_every`` (no per-root checkpoints
+        inside a shared wave) and with ``recovery_mode='degrade'``
+        (batch recovery is restart-only).
     """
     from repro.analysis.experiments import tuned_thresholds
 
@@ -277,10 +297,26 @@ def run_graph500(
 
     kwargs = dict(e_threshold=e_threshold, h_threshold=h_threshold)
     kwargs.update(config_overrides or {})
-    engine = DistributedBFS(
-        part, machine=machine, config=BFSConfig(**kwargs), tracer=tracer,
-        metrics=metrics,
-    )
+    config = BFSConfig(**kwargs)
+    if batch_roots:
+        if checkpoint_every:
+            raise ValueError(
+                "batch_roots does not support checkpointing (no per-root "
+                "checkpoints inside a shared wave)"
+            )
+        if recovery_mode != "restart":
+            raise ValueError("batch_roots recovery is restart-only")
+        from repro.serve.msbfs import MultiSourceBFS
+
+        engine = MultiSourceBFS(
+            part, machine=machine, config=config, tracer=tracer,
+            metrics=metrics,
+        )
+    else:
+        engine = DistributedBFS(
+            part, machine=machine, config=config, tracer=tracer,
+            metrics=metrics,
+        )
 
     # Resilience setup: the injector shares the run's one seeded rng
     # (the generator root sampling draws from next), so ``seed`` alone
@@ -320,7 +356,52 @@ def run_graph500(
     crashes = restarts = 0
     wasted_seconds = 0.0
     excised_total = 0
-    for root in roots:
+    if batch_roots:
+        from repro.serve.msbfs import (
+            MAX_BATCH_ROOTS,
+            run_batch_with_recovery,
+        )
+
+        per_root = []
+        for start in range(0, roots.size, MAX_BATCH_ROOTS):
+            chunk = roots[start : start + MAX_BATCH_ROOTS]
+            with tracer.span(
+                "batch", category="bfs_batch", num_roots=int(chunk.size)
+            ):
+                if injector is None:
+                    batch = engine.run_batch(chunk)
+                else:
+                    recovered = run_batch_with_recovery(
+                        engine, chunk, faults=injector, policy=policy,
+                        metrics=metrics if metrics is not None else NULL_METRICS,
+                    )
+                    batch = recovered.result
+                    crashes += recovered.crashes
+                    restarts += recovered.crashes
+                    wasted_seconds += recovered.wasted_seconds
+            for lane in range(chunk.size):
+                # The batch ledger rides on exactly one lane so summing
+                # per-root ledgers counts the shared traversal once.
+                per_root.append(
+                    batch.per_root_result(lane, share_ledger=(lane == 0))
+                )
+        for res in per_root:
+            if validate:
+                with tracer.span("validate", category="phase", root=res.root):
+                    try:
+                        validate_bfs_result(
+                            graph, res.root, res.parent,
+                            edge_src=src, edge_dst=dst,
+                        )
+                    except AssertionError:
+                        all_valid = False
+            times.append(res.total_seconds)
+            teps.append(problem.num_edges / res.total_seconds)
+            results.append(res)
+        roots_iter = []
+    else:
+        roots_iter = roots
+    for root in roots_iter:
         with tracer.span("root", category="bfs_root", root=int(root)):
             if injector is None and checkpointer is None:
                 res = engine.run(int(root))

@@ -44,6 +44,7 @@ __all__ = [
     "config_fingerprint",
     "report_from_bfs",
     "report_from_graph500",
+    "report_from_serve",
     "bfs_smoke_report",
     "compare_reports",
     "render_compare",
@@ -56,7 +57,10 @@ RUN_REPORT_SCHEMA = "repro.run_report/1"
 
 #: Tracked metrics where an *increase* is an improvement.  Everything
 #: else (seconds, bytes, iterations) regresses when it grows.
-HIGHER_BETTER = frozenset({"gteps", "harmonic_mean_teps", "mean_gteps"})
+HIGHER_BETTER = frozenset({
+    "gteps", "harmonic_mean_teps", "mean_gteps",
+    "serve.cache_hit_rate", "serve.mean_batch_size", "serve.qps",
+})
 
 
 def config_fingerprint(payload: dict) -> str:
@@ -336,6 +340,57 @@ def report_from_graph500(
         breakdowns=breakdowns,
         directions=directions,
         summaries=_registry_summaries(report.metrics),
+    )
+
+
+def report_from_serve(
+    service,
+    workload=None,
+    *,
+    name: str = "serve",
+    context: dict | None = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from a serving session.
+
+    ``service`` is a (stopped) :class:`~repro.serve.service.TraversalService`;
+    ``workload`` optionally a
+    :class:`~repro.serve.workload.WorkloadReport` from the closed-loop
+    driver, adding the client-side view (wrong parents, shed retries).
+    The ``serve.*`` metric family covers admission (requests, shed,
+    failed), batching (batches, mean batch size), the cache (hit rate),
+    wall latency (p50/p99), and the amortized simulated cost per query.
+    """
+    stats = service.stats
+    ctx = _context(name, None, context)
+    ctx.setdefault("queue_depth", int(service.queue_depth))
+    ctx.setdefault("batch_size", int(service.batch_size))
+    ctx.setdefault("batch_window", float(service.batch_window))
+    ctx.setdefault("graph_fingerprint", service.graph_fingerprint)
+    metrics = {
+        "serve.requests": float(stats.requests),
+        "serve.completed": float(stats.completed),
+        "serve.cache_hits": float(stats.cache_hits),
+        "serve.shed": float(stats.shed),
+        "serve.failed": float(stats.failed),
+        "serve.replays": float(stats.replays),
+        "serve.batches": float(stats.batches),
+        "serve.mean_batch_size": float(stats.mean_batch_size),
+        "serve.cache_hit_rate": float(stats.cache_hit_rate),
+        "serve.sim_seconds_per_query": float(stats.sim_seconds_per_query),
+        "serve.p50_seconds": float(stats.p50_seconds),
+        "serve.p99_seconds": float(stats.p99_seconds),
+    }
+    if workload is not None:
+        metrics["serve.workload_queries"] = float(workload.num_queries)
+        metrics["serve.wrong_parents"] = float(workload.wrong_parents)
+        metrics["serve.validated_queries"] = float(workload.validated)
+        metrics["serve.shed_retries"] = float(workload.shed_retries)
+    return RunReport(
+        name=name,
+        fingerprint=config_fingerprint(ctx),
+        context=ctx,
+        metrics=metrics,
+        summaries=_registry_summaries(service._metrics),
     )
 
 

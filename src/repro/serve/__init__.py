@@ -1,0 +1,38 @@
+"""The query-serving subsystem: batched multi-source BFS behind an
+admission-controlled request queue.
+
+Layers (each usable on its own):
+
+- :mod:`repro.serve.msbfs` — the bit-parallel multi-source engine: up to
+  64 roots per batch, one lane per root, parents bit-identical to
+  sequential :class:`~repro.core.engine.DistributedBFS` runs.
+- :mod:`repro.serve.cache` — the (graph fingerprint, root) result cache
+  with LRU + TTL eviction and hit/miss/eviction metrics.
+- :mod:`repro.serve.service` — the asyncio-fronted
+  :class:`~repro.serve.service.TraversalService`: bounded queue,
+  batching window, typed ``Overloaded`` shedding, latency histograms,
+  crash replay.
+- :mod:`repro.serve.workload` — the seeded closed-loop client generator
+  the CI smoke and benchmarks drive the service with.
+"""
+
+from repro.serve.cache import ResultCache, fingerprint_graph
+from repro.serve.msbfs import (
+    MAX_BATCH_ROOTS,
+    MSBFSResult,
+    MultiSourceBFS,
+    run_batch_with_recovery,
+)
+from repro.serve.service import Overloaded, TraversalError, TraversalService
+
+__all__ = [
+    "MAX_BATCH_ROOTS",
+    "MSBFSResult",
+    "MultiSourceBFS",
+    "run_batch_with_recovery",
+    "ResultCache",
+    "fingerprint_graph",
+    "Overloaded",
+    "TraversalError",
+    "TraversalService",
+]

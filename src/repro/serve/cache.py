@@ -1,0 +1,180 @@
+"""Result cache for served traversals.
+
+Keyed by ``(graph fingerprint, root)`` so entries can never outlive the
+graph they were computed on: reloading a graph changes the fingerprint
+and :meth:`ResultCache.invalidate` drops the stale generation.  Eviction
+is LRU within a bounded capacity plus TTL expiry (checked lazily on
+read), with every outcome counted in the shared metric families:
+
+==========================  ============================================
+family                      meaning
+==========================  ============================================
+``serve_cache_hits``        reads answered from cache
+``serve_cache_misses``      reads that fell through to the engine
+``serve_cache_evictions``   entries dropped, labeled ``reason=``
+                            ``lru`` / ``ttl`` / ``invalidation``
+``serve_cache_size``        current resident entries (gauge)
+==========================  ============================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = ["ResultCache", "CacheStats", "fingerprint_graph"]
+
+
+def fingerprint_graph(part) -> str:
+    """sha256 identity of a partitioned graph.
+
+    Hashes what determines traversal results: the vertex count, the
+    degree vector, the mesh shape, and the class thresholds' effect
+    (the per-class counts).  Cheap relative to a partition build, and
+    any graph reload that could change a parent tree changes it.
+    """
+    h = hashlib.sha256()
+    h.update(
+        np.array(
+            [
+                part.num_vertices,
+                part.total_arcs,
+                part.mesh.rows,
+                part.mesh.cols,
+                part.num_e,
+                part.num_h,
+            ],
+            dtype=np.int64,
+        ).tobytes()
+    )
+    h.update(np.ascontiguousarray(part.degrees, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters mirrored by :class:`ResultCache` for quick inspection."""
+
+    hits: int = 0
+    misses: int = 0
+    evicted_lru: int = 0
+    evicted_ttl: int = 0
+    evicted_invalidation: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    __slots__ = ("parent", "created_at")
+
+    def __init__(self, parent: np.ndarray, created_at: float) -> None:
+        self.parent = parent
+        self.created_at = created_at
+
+
+class ResultCache:
+    """Bounded LRU + TTL cache of parent trees, keyed by
+    ``(graph fingerprint, root)``."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float = math.inf,
+        *,
+        clock=time.monotonic,
+        metrics=NULL_METRICS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.capacity = int(capacity)
+        self.ttl_seconds = float(ttl_seconds)
+        self._clock = clock
+        self._metrics = metrics
+        self._entries: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str, root: int) -> np.ndarray | None:
+        """The cached parent tree, or ``None`` (miss or TTL-expired)."""
+        key = (fingerprint, int(root))
+        entry = self._entries.get(key)
+        if entry is not None and (
+            self._clock() - entry.created_at >= self.ttl_seconds
+        ):
+            del self._entries[key]
+            self._count_eviction("ttl")
+            entry = None
+        if entry is None:
+            self.stats.misses += 1
+            self._metrics.counter("serve_cache_misses").inc()
+            self._sync_size()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self._metrics.counter("serve_cache_hits").inc()
+        return entry.parent
+
+    def put(self, fingerprint: str, root: int, parent: np.ndarray) -> None:
+        """Insert (or refresh) one result; evicts LRU past capacity."""
+        key = (fingerprint, int(root))
+        stored = np.ascontiguousarray(parent)
+        stored.setflags(write=False)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = _Entry(stored, self._clock())
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._count_eviction("lru")
+        self._sync_size()
+
+    def invalidate(self, fingerprint: str | None = None) -> int:
+        """Drop entries of one graph generation (or all of them).
+
+        Called on graph reload; returns the number of dropped entries.
+        """
+        if fingerprint is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [k for k in self._entries if k[0] == fingerprint]
+            dropped = len(stale)
+            for k in stale:
+                del self._entries[k]
+        for _ in range(dropped):
+            self._count_eviction("invalidation")
+        self._sync_size()
+        return dropped
+
+    # ------------------------------------------------------------------
+
+    def _count_eviction(self, reason: str) -> None:
+        setattr(
+            self.stats,
+            f"evicted_{reason}",
+            getattr(self.stats, f"evicted_{reason}") + 1,
+        )
+        self._metrics.counter("serve_cache_evictions", reason=reason).inc()
+
+    def _sync_size(self) -> None:
+        self.stats.size = len(self._entries)
+        self._metrics.gauge("serve_cache_size").set(len(self._entries))

@@ -1,0 +1,403 @@
+"""The admission-controlled traversal service.
+
+A synchronous core (the :class:`~repro.serve.msbfs.MultiSourceBFS`
+engine, run on an executor thread) behind an asyncio front:
+
+1. **Admission.**  :meth:`TraversalService.submit` answers from the
+   :class:`~repro.serve.cache.ResultCache` when it can; otherwise the
+   request enters a *bounded* queue.  A full queue sheds the request
+   with a typed :class:`Overloaded` — the queue can never grow without
+   bound, and shedding is an exception the client handles, not a
+   dropped future.
+2. **Batching.**  A single flusher coroutine assembles batches: flush
+   when ``batch_size`` distinct roots are pending or when the oldest
+   request has waited ``batch_window`` seconds.  Duplicate roots share
+   one lane.
+3. **Traversal.**  The batch runs as one multi-source wave sequence on
+   the executor; every lane's parent tree is bit-identical to a
+   sequential run, so serving batched is *not* an approximation.
+4. **Resilience.**  A mid-batch injected rank crash fails only that
+   batch: its requests are replayed from the front of the queue (up to
+   ``max_replays`` times), after which they fail with a typed
+   :class:`TraversalError`.  Other batches are untouched.
+
+Latency is observed per request into ``serve_latency_seconds`` — one
+histogram per ``stage`` label: ``queue`` (submit → popped into a forming
+batch), ``batch`` (popped → traversal start, the batching-window cost),
+``traversal`` (engine wall time), ``total`` (submit → resolve).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import NULL_METRICS, exponential_buckets
+from repro.resilience.faults import RankCrashError
+from repro.serve.cache import ResultCache, fingerprint_graph
+
+__all__ = [
+    "Overloaded",
+    "TraversalError",
+    "TraversalResponse",
+    "TraversalService",
+    "ServeStats",
+    "LATENCY_BUCKETS",
+]
+
+#: Sub-microsecond to ~9-minute wall-latency buckets.
+LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 40)
+
+
+class Overloaded(RuntimeError):
+    """Typed admission-control rejection: the request queue is full.
+
+    Clients treat this as backpressure — back off and retry; the request
+    was never enqueued.
+    """
+
+    def __init__(self, queue_depth: int, limit: int) -> None:
+        super().__init__(
+            f"request queue full ({queue_depth}/{limit}); request shed"
+        )
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class TraversalError(RuntimeError):
+    """A batch exhausted its replay budget; its requests failed."""
+
+
+@dataclass
+class TraversalResponse:
+    """One served query."""
+
+    root: int
+    parent: np.ndarray = field(repr=False)
+    cached: bool = False
+    #: Lanes in the batch that served it (0 for cache hits).
+    batch_lanes: int = 0
+    #: Wall-clock stage latencies (seconds).
+    queue_wait: float = 0.0
+    batch_wait: float = 0.0
+    traversal_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: Amortized *simulated* machine cost of the query (0 for cache hits).
+    sim_seconds: float = 0.0
+
+
+@dataclass
+class ServeStats:
+    """Service-lifetime counters (wall latencies in seconds)."""
+
+    requests: int = 0
+    admitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    failed: int = 0
+    replays: int = 0
+    batches: int = 0
+    batched_lanes: int = 0
+    sim_seconds_total: float = 0.0
+    total_latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_lanes / self.batches if self.batches else 0.0
+
+    @property
+    def sim_seconds_per_query(self) -> float:
+        return (
+            self.sim_seconds_total / self.completed if self.completed else 0.0
+        )
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.total_latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.total_latencies), q))
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        served = self.cache_hits + self.completed
+        return self.cache_hits / served if served else 0.0
+
+
+@dataclass
+class _Request:
+    root: int
+    future: asyncio.Future = field(repr=False)
+    submitted_at: float
+    popped_at: float = 0.0
+    attempts: int = 0
+
+
+_DEFAULT_CACHE = object()
+
+
+class TraversalService:
+    """Batched BFS serving over one loaded graph."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        cache=_DEFAULT_CACHE,
+        queue_depth: int = 256,
+        batch_size: int = 64,
+        batch_window: float = 0.002,
+        max_replays: int = 2,
+        faults=None,
+        metrics=NULL_METRICS,
+        clock=time.monotonic,
+    ) -> None:
+        from repro.serve.msbfs import MAX_BATCH_ROOTS
+
+        if not 1 <= batch_size <= MAX_BATCH_ROOTS:
+            raise ValueError(f"batch_size must be in [1, {MAX_BATCH_ROOTS}]")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        self.engine = engine
+        self.queue_depth = int(queue_depth)
+        self.batch_size = int(batch_size)
+        self.batch_window = float(batch_window)
+        self.max_replays = int(max_replays)
+        self._faults = faults
+        self._metrics = metrics
+        self._clock = clock
+        self._cache = (
+            ResultCache(metrics=metrics) if cache is _DEFAULT_CACHE else cache
+        )
+        self._fingerprint = fingerprint_graph(engine.part)
+        self._queue: deque[_Request] = deque()
+        self._wake = asyncio.Event()
+        self._flusher: asyncio.Task | None = None
+        self._closed = True
+        self.stats = ServeStats()
+
+    @property
+    def graph_fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._flusher is not None:
+            raise RuntimeError("service already started")
+        self._closed = False
+        self._wake = asyncio.Event()
+        self._flusher = asyncio.create_task(self._flush_loop())
+
+    async def stop(self) -> None:
+        """Drain the queue, finish in-flight batches, stop the flusher."""
+        self._closed = True
+        self._wake.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+
+    async def __aenter__(self) -> "TraversalService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def reload_graph(self, engine) -> None:
+        """Swap the served graph; cached results of the old generation
+        are invalidated (the fingerprint changes with the graph)."""
+        old = self._fingerprint
+        self.engine = engine
+        self._fingerprint = fingerprint_graph(engine.part)
+        if self._cache is not None:
+            self._cache.invalidate(old)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    async def submit(self, root: int) -> TraversalResponse:
+        """Serve one traversal query.
+
+        Raises :class:`Overloaded` when the queue is full (admission
+        control) and :class:`TraversalError` when the query's batch
+        exhausted its crash-replay budget.
+        """
+        if self._closed:
+            raise RuntimeError("service is not running")
+        root = int(root)
+        if not 0 <= root < self.engine.num_vertices:
+            raise ValueError(f"root {root} out of range")
+        t0 = self._clock()
+        self.stats.requests += 1
+        if self._cache is not None:
+            parent = self._cache.get(self._fingerprint, root)
+            if parent is not None:
+                self.stats.cache_hits += 1
+                total = self._clock() - t0
+                self.stats.total_latencies.append(total)
+                self._metrics.counter("serve_requests", outcome="cached").inc()
+                self._observe("total", total)
+                return TraversalResponse(
+                    root=root, parent=parent, cached=True, total_seconds=total
+                )
+        if len(self._queue) >= self.queue_depth:
+            self.stats.shed += 1
+            self._metrics.counter("serve_requests", outcome="shed").inc()
+            raise Overloaded(len(self._queue), self.queue_depth)
+        future = asyncio.get_running_loop().create_future()
+        request = _Request(root=root, future=future, submitted_at=t0)
+        self._queue.append(request)
+        self.stats.admitted += 1
+        self._metrics.gauge("serve_queue_depth").set(len(self._queue))
+        self._wake.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # batching core
+    # ------------------------------------------------------------------
+
+    async def _next_request(self, timeout: float | None = None):
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            if self._queue:
+                request = self._queue.popleft()
+                request.popped_at = self._clock()
+                self._metrics.gauge("serve_queue_depth").set(len(self._queue))
+                return request
+            if self._closed:
+                return None
+            self._wake.clear()
+            if deadline is None:
+                await self._wake.wait()
+                continue
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return None
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+            except TimeoutError:
+                return None
+
+    async def _flush_loop(self) -> None:
+        while True:
+            first = await self._next_request()
+            if first is None:
+                return
+            batch = [first]
+            roots = {first.root}
+            deadline = self._clock() + self.batch_window
+            while len(roots) < self.batch_size:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                nxt = await self._next_request(timeout=remaining)
+                if nxt is None:
+                    break
+                batch.append(nxt)
+                roots.add(nxt.root)
+            await self._execute_batch(batch)
+
+    async def _execute_batch(self, batch: list[_Request]) -> None:
+        t_exec = self._clock()
+        by_root: dict[int, list[_Request]] = {}
+        for request in batch:
+            by_root.setdefault(request.root, []).append(request)
+        roots = np.array(sorted(by_root), dtype=np.int64)
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self.engine.run_batch, roots, faults=self._faults
+                ),
+            )
+        except RankCrashError:
+            self._metrics.counter("serve_batches", outcome="crashed").inc()
+            for request in batch:
+                request.attempts += 1
+            if batch[0].attempts <= self.max_replays:
+                # Replay the affected batch from the front of the queue;
+                # requests keep their original submit time.
+                self.stats.replays += 1
+                self._metrics.counter("serve_batch_replays").inc()
+                self._queue.extendleft(reversed(batch))
+                self._metrics.gauge("serve_queue_depth").set(len(self._queue))
+                self._wake.set()
+                return
+            error = TraversalError(
+                f"batch of {len(batch)} requests failed after "
+                f"{self.max_replays} replays (injected rank crash)"
+            )
+            self.stats.failed += len(batch)
+            self._metrics.counter("serve_requests", outcome="failed").inc(
+                len(batch)
+            )
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+            return
+        t_done = self._clock()
+        traversal = t_done - t_exec
+        self.stats.batches += 1
+        self.stats.batched_lanes += result.num_lanes
+        self._metrics.counter("serve_batches", outcome="completed").inc()
+        self._metrics.histogram("serve_batch_size").observe(result.num_lanes)
+        self._observe("traversal", traversal)
+        lane_of = {int(r): lane for lane, r in enumerate(result.roots)}
+        for root, requests in by_root.items():
+            parent = result.lane_parent(lane_of[root])
+            if self._cache is not None:
+                self._cache.put(self._fingerprint, root, parent)
+            for request in requests:
+                queue_wait = request.popped_at - request.submitted_at
+                batch_wait = t_exec - request.popped_at
+                total = t_done - request.submitted_at
+                self._observe("queue", queue_wait)
+                self._observe("batch", batch_wait)
+                self._observe("total", total)
+                self.stats.completed += 1
+                self.stats.sim_seconds_total += result.amortized_seconds
+                self.stats.total_latencies.append(total)
+                self._metrics.counter(
+                    "serve_requests", outcome="completed"
+                ).inc()
+                if not request.future.done():
+                    request.future.set_result(
+                        TraversalResponse(
+                            root=root,
+                            parent=parent,
+                            batch_lanes=result.num_lanes,
+                            queue_wait=queue_wait,
+                            batch_wait=batch_wait,
+                            traversal_seconds=traversal,
+                            total_seconds=total,
+                            sim_seconds=result.amortized_seconds,
+                        )
+                    )
+
+    def _observe(self, stage: str, seconds: float) -> None:
+        self._metrics.histogram(
+            "serve_latency_seconds", buckets=LATENCY_BUCKETS, stage=stage
+        ).observe(max(seconds, 0.0))

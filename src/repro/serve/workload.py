@@ -1,0 +1,227 @@
+"""Seeded closed-loop workload generation for the traversal service.
+
+Two pieces:
+
+- :func:`make_workload_roots` — a seeded query stream over the graph's
+  non-isolated vertices with a configurable *hot set*, so repeated roots
+  exercise the result cache deterministically.
+- :func:`run_workload` — a closed-loop driver: ``clients`` concurrent
+  clients each keep exactly one query in flight, retrying queries the
+  service sheds (``Overloaded`` is backpressure, not failure).  Every
+  query's outcome — served, cached, failed, and whether the returned
+  parent tree matched the expected one — is recorded.
+
+The CI smoke and ``bench-serve`` both drive the service through this
+module, so "zero wrong parents / zero dropped non-shed requests" is
+asserted against the exact client behavior a user would write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.service import (
+    Overloaded,
+    TraversalError,
+    TraversalService,
+)
+
+__all__ = [
+    "make_workload_roots",
+    "run_workload",
+    "run_serving_session",
+    "QueryOutcome",
+    "WorkloadReport",
+]
+
+
+def make_workload_roots(
+    degrees,
+    num_queries: int,
+    *,
+    seed: int,
+    hot_fraction: float = 0.5,
+    hot_set_size: int = 16,
+) -> np.ndarray:
+    """A seeded stream of query roots.
+
+    Each query draws from a small *hot set* with probability
+    ``hot_fraction`` (producing cache-friendly repeats) and uniformly
+    from all non-isolated vertices otherwise.  Identical ``seed`` and
+    parameters give a bit-identical stream.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(np.asarray(degrees) > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no non-isolated vertices to query")
+    hot_set_size = max(1, min(int(hot_set_size), int(candidates.size)))
+    hot = rng.choice(candidates, size=hot_set_size, replace=False)
+    is_hot = rng.random(num_queries) < hot_fraction
+    hot_picks = rng.integers(0, hot_set_size, size=num_queries)
+    cold_picks = rng.integers(0, candidates.size, size=num_queries)
+    roots = np.where(is_hot, hot[hot_picks], candidates[cold_picks])
+    return roots.astype(np.int64)
+
+
+@dataclass
+class QueryOutcome:
+    """One query's journey through the service."""
+
+    root: int
+    cached: bool = False
+    #: ``True``/``False`` when validated against an expected parent
+    #: tree, ``None`` when no expectation was supplied.
+    correct: bool | None = None
+    total_seconds: float = 0.0
+    batch_lanes: int = 0
+    shed_retries: int = 0
+    error: str | None = None
+
+    @property
+    def served(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcomes of one closed-loop run."""
+
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def served(self) -> int:
+        return sum(1 for o in self.outcomes if o.served)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.error is not None)
+
+    @property
+    def shed_retries(self) -> int:
+        return sum(o.shed_retries for o in self.outcomes)
+
+    @property
+    def wrong_parents(self) -> int:
+        return sum(1 for o in self.outcomes if o.correct is False)
+
+    @property
+    def validated(self) -> int:
+        return sum(1 for o in self.outcomes if o.correct is not None)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.served if self.served else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        samples = [o.total_seconds for o in self.outcomes if o.served]
+        if not samples:
+            return 0.0
+        return float(np.percentile(np.asarray(samples), q))
+
+
+async def run_workload(
+    service: TraversalService,
+    roots,
+    *,
+    clients: int = 4,
+    expected: dict | None = None,
+    shed_backoff: float = 0.0005,
+    max_shed_retries: int = 10_000,
+) -> WorkloadReport:
+    """Drive ``service`` with a closed loop of ``clients`` clients.
+
+    Each client keeps one query in flight; an :class:`Overloaded`
+    rejection backs off ``shed_backoff`` seconds and retries the same
+    root.  ``expected`` maps root → parent array; served responses for
+    those roots are checked bit-for-bit.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    pending = deque(int(r) for r in roots)
+    outcomes: list[QueryOutcome] = []
+
+    async def client() -> None:
+        while pending:
+            root = pending.popleft()
+            retries = 0
+            while True:
+                try:
+                    response = await service.submit(root)
+                except Overloaded:
+                    retries += 1
+                    if retries > max_shed_retries:
+                        outcomes.append(
+                            QueryOutcome(
+                                root=root,
+                                shed_retries=retries,
+                                error="shed retry budget exhausted",
+                            )
+                        )
+                        break
+                    await asyncio.sleep(shed_backoff)
+                    continue
+                except TraversalError as exc:
+                    outcomes.append(
+                        QueryOutcome(
+                            root=root, shed_retries=retries, error=str(exc)
+                        )
+                    )
+                    break
+                correct = None
+                if expected is not None and root in expected:
+                    correct = bool(
+                        np.array_equal(response.parent, expected[root])
+                    )
+                outcomes.append(
+                    QueryOutcome(
+                        root=root,
+                        cached=response.cached,
+                        correct=correct,
+                        total_seconds=response.total_seconds,
+                        batch_lanes=response.batch_lanes,
+                        shed_retries=retries,
+                    )
+                )
+                break
+
+    await asyncio.gather(*(client() for _ in range(clients)))
+    return WorkloadReport(outcomes=outcomes)
+
+
+def run_serving_session(
+    engine,
+    roots,
+    *,
+    clients: int = 4,
+    expected: dict | None = None,
+    **service_kwargs,
+) -> tuple[WorkloadReport, TraversalService]:
+    """Synchronous convenience: build a service around ``engine``, run
+    the workload to completion, stop the service, and return both the
+    workload report and the (stopped) service for stats inspection."""
+
+    async def main() -> tuple[WorkloadReport, TraversalService]:
+        service = TraversalService(engine, **service_kwargs)
+        async with service:
+            report = await run_workload(
+                service, roots, clients=clients, expected=expected
+            )
+        return report, service
+
+    return asyncio.run(main())
