@@ -1,0 +1,64 @@
+"""SCALE-12 vertex-program smoke benchmark — the programs baseline.
+
+Runs the pinned programs smoke configuration
+(:data:`repro.obs.report.PROGRAMS_SMOKE_CONFIG`: every registered
+program — BFS, Bellman-Ford and delta-stepping SSSP, PageRank,
+connected components, triangle counting — on one SCALE-12 seed-7 graph
+over a 2x2 mesh) and emits the resulting
+:class:`~repro.obs.report.RunReport` as
+``results/BENCH_programs_smoke.json``.
+
+That artifact is committed as the CI baseline: the workflow's
+programs-smoke job regenerates the same report via ``python -m repro
+algo --smoke`` and runs ``python -m repro compare`` against the
+committed file, failing the build when any program's tracked metrics
+(simulated seconds/bytes, iteration counts, relaxation/bucket/
+component/triangle counters, PageRank residual) drift past the
+threshold.  All quantities are simulated and deterministic, so an
+unchanged engine reproduces the baseline exactly.
+
+To refresh the baseline after an intentional model change::
+
+    PYTHONPATH=src python -m repro algo --smoke \
+        --report benchmarks/results/BENCH_programs_smoke.json
+"""
+
+from conftest import emit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA,
+    compare_reports,
+    programs_smoke_report,
+)
+
+BASELINE_NAME = "BENCH_programs_smoke.json"
+
+
+def test_programs_smoke_report(benchmark, results_dir):
+    registry = MetricsRegistry()
+    report = benchmark.pedantic(
+        lambda: programs_smoke_report(metrics=registry), rounds=1, iterations=1
+    )
+    assert report.schema == RUN_REPORT_SCHEMA
+    # Every registered program contributed its tracked metrics.
+    for name in ("bfs", "sssp", "sssp-delta", "pagerank", "cc", "triangles"):
+        assert report.metrics[f"program.{name}.total_seconds"] > 0
+    assert report.metrics["program.pagerank.delta"] < 1e-8
+    assert report.metrics["program.triangles.total_triangles"] > 0
+
+    # If a committed baseline exists, gate the fresh run against it
+    # *before* overwriting (the same check CI applies).
+    baseline = results_dir / BASELINE_NAME
+    if baseline.exists():
+        from repro.obs.report import RunReport
+
+        deltas = compare_reports(RunReport.load(baseline), report, 0.05)
+        regressed = [d.name for d in deltas if d.regressed]
+        assert not regressed, f"programs smoke metrics regressed: {regressed}"
+
+    path = report.save(baseline)
+    emit(results_dir, "programs_smoke", report.render())
+
+    benchmark.extra_info["programs"] = 6
+    benchmark.extra_info["report"] = str(path)

@@ -61,6 +61,34 @@ def _mesh_arg(value: str) -> tuple[int, int]:
     return out
 
 
+def _positive_float_arg(value: str) -> float:
+    """Parse a strictly positive float (``--delta``, ``--tol``)."""
+    try:
+        out = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from exc
+    if not out > 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value!r}")
+    return out
+
+
+def _damping_arg(value: str) -> float:
+    """Parse a PageRank damping factor in the open interval (0, 1)."""
+    try:
+        out = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from exc
+    if not 0.0 < out < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"damping must be in (0, 1), got {value!r}"
+        )
+    return out
+
+
 def _faults_arg(value: str):
     """Parse and validate a ``--faults`` spec at argument time, so a
     malformed spec exits 2 with usage instead of a mid-run traceback."""
@@ -263,7 +291,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("delta-stepping", "bellman-ford"),
         default="delta-stepping",
     )
-    sssp_p.add_argument("--delta", type=float, default=None)
+    sssp_p.add_argument("--delta", type=_positive_float_arg, default=None)
+
+    algo = sub.add_parser(
+        "algo", parents=[common, resil],
+        help="run a registered vertex program (sssp, pagerank, cc, ...)",
+    )
+    algo.add_argument(
+        "program", nargs="?", default=None, metavar="PROGRAM",
+        help="registered program name (see --list)",
+    )
+    algo.add_argument("--root", type=int, default=None,
+                      help="source vertex for traversal programs "
+                           "(default: max-degree hub)")
+    algo.add_argument("--delta", type=_positive_float_arg, default=None,
+                      metavar="WIDTH",
+                      help="bucket width for sssp-delta (default: tuned)")
+    algo.add_argument("--damping", type=_damping_arg, default=None,
+                      help="PageRank damping factor in (0, 1)")
+    algo.add_argument("--tol", type=_positive_float_arg, default=None,
+                      help="PageRank convergence tolerance")
+    algo.add_argument("--max-iterations", type=int, default=None,
+                      metavar="N", help="iteration cap where the program "
+                                        "takes one")
+    algo.add_argument("--unit-weights", action="store_true",
+                      help="run SSSP programs with unit weights instead "
+                           "of the seeded weight table")
+    algo.add_argument("--report", metavar="PATH", default=None,
+                      help="write the run's RunReport JSON artifact")
+    algo.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
+    algo.add_argument("--smoke", action="store_true",
+                      help="run every registered program on the pinned "
+                           "SCALE-12 smoke graph (ignores PROGRAM and "
+                           "--scale/--mesh/--seed; matches the committed "
+                           "CI baseline)")
+    algo.add_argument("--list", action="store_true",
+                      help="list registered programs and exit")
 
     return parser
 
@@ -521,8 +584,7 @@ def _cmd_sssp(args) -> int:
     from repro.analysis.experiments import build_setup, tuned_thresholds
     from repro.analysis.reporting import format_seconds
     from repro.core import partition_graph
-    from repro.core.algorithms import generate_weights, sssp
-    from repro.core.delta_stepping import delta_stepping_sssp
+    from repro.core import delta_stepping_sssp, generate_weights, sssp
 
     rows, cols = args.mesh
     setup = build_setup(args.scale, rows, cols, seed=args.seed)
@@ -552,6 +614,170 @@ def _cmd_sssp(args) -> int:
     print(f"reached {reached:,}/{setup.num_vertices:,} vertices; "
           f"{res.relaxations:,} relaxations; "
           f"simulated {format_seconds(res.total_seconds)}")
+    return 0
+
+
+def _cmd_algo(args) -> int:
+    from repro.core.programs import PROGRAM_REGISTRY, available_programs
+
+    if args.list:
+        from repro.analysis.reporting import ascii_table
+
+        print(ascii_table(
+            ("program", "needs root", "description"),
+            [
+                (spec.name, "yes" if spec.needs_root else "no",
+                 spec.description)
+                for _, spec in sorted(PROGRAM_REGISTRY.items())
+            ],
+            title="registered vertex programs:",
+        ))
+        return 0
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer() if args.trace else None
+
+    if args.smoke:
+        from repro.obs.report import programs_smoke_report
+
+        report = programs_smoke_report(metrics=registry, tracer=tracer)
+        if args.report:
+            print(f"run report: {report.save(args.report)}")
+        else:
+            print(report.render())
+        if tracer is not None and not _write_trace(tracer, args.trace):
+            return 1
+        return 0
+
+    if args.program is None:
+        print("error: choose a program (or pass --smoke / --list); "
+              f"available: {', '.join(available_programs())}",
+              file=sys.stderr)
+        print("usage: see `repro algo --help`", file=sys.stderr)
+        return 2
+    spec = PROGRAM_REGISTRY.get(args.program)
+    if spec is None:
+        print(f"error: unknown program {args.program!r}; "
+              f"available: {', '.join(available_programs())}",
+              file=sys.stderr)
+        print("usage: see `repro algo --help`", file=sys.stderr)
+        return 2
+
+    from repro.analysis.experiments import build_setup, tuned_thresholds
+    from repro.analysis.reporting import format_seconds
+    from repro.core import DistributedBFS, build_program, partition_graph
+    from repro.obs.report import report_from_bfs, report_from_program
+
+    rows, cols = args.mesh
+    setup = build_setup(args.scale, rows, cols, seed=args.seed)
+    e_thr, h_thr = args.e_threshold, args.h_threshold
+    if e_thr is None or h_thr is None:
+        e_thr, h_thr = tuned_thresholds(args.scale)
+    part = partition_graph(
+        setup.src, setup.dst, setup.num_vertices, setup.mesh,
+        e_threshold=e_thr, h_threshold=h_thr,
+    )
+    root = args.root if args.root is not None else setup.root
+    context = dict(
+        scale=args.scale, rows=rows, cols=cols, seed=args.seed,
+        e_threshold=e_thr, h_threshold=h_thr,
+    )
+    engine = DistributedBFS(
+        part, machine=setup.machine, tracer=tracer, metrics=registry
+    )
+
+    if spec.native_bfs:
+        res = engine.run(root)
+        print(f"bfs: {res.num_iterations} levels, "
+              f"visited {res.num_visited:,}/{setup.num_vertices:,}, "
+              f"simulated {format_seconds(res.total_seconds)} "
+              f"({res.simulated_gteps():.1f} GTEPS)")
+        report = report_from_bfs(
+            res, name="program.bfs", context={**context, "root": root}
+        )
+    else:
+        params: dict = {}
+        if spec.needs_root:
+            params["root"] = root
+        if args.program in ("sssp", "sssp-delta") and not args.unit_weights:
+            from repro.core.programs import generate_weights
+
+            params.update(
+                weights=generate_weights(setup.src.size, seed=args.seed + 1),
+                edge_src=setup.src, edge_dst=setup.dst,
+            )
+        if args.delta is not None and args.program == "sssp-delta":
+            params["delta"] = args.delta
+        if args.program == "pagerank":
+            if args.damping is not None:
+                params["damping"] = args.damping
+            if args.tol is not None:
+                params["tol"] = args.tol
+        if args.max_iterations is not None and args.program in (
+            "sssp", "pagerank"
+        ):
+            params["max_iterations"] = args.max_iterations
+        try:
+            program = build_program(args.program, part, **params)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print("usage: see `repro algo --help`", file=sys.stderr)
+            return 2
+
+        resilience: dict = {}
+        if args.faults is not None or args.checkpoint_every:
+            from repro.resilience import (
+                FaultInjector,
+                LevelCheckpointer,
+                RecoveryPolicy,
+                run_program_with_recovery,
+            )
+
+            injector = None
+            if args.faults is not None:
+                injector = FaultInjector(
+                    args.faults, rng=np.random.default_rng(args.scale)
+                )
+                injector.plan.validate(setup.mesh.num_ranks)
+            recovered = run_program_with_recovery(
+                engine, program,
+                faults=injector,
+                checkpointer=LevelCheckpointer(
+                    every=args.checkpoint_every, mesh=setup.mesh
+                ),
+                policy=RecoveryPolicy(
+                    max_restarts=args.max_restarts, mode=args.recovery_mode
+                ),
+            )
+            res = recovered.result
+        else:
+            recovered = None
+            res = engine.run_program(program)
+
+        scalars = ", ".join(
+            f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(res.info.items())
+            if isinstance(v, (int, float, bool))
+        )
+        print(f"{res.program}: {res.num_iterations} iterations, "
+              f"{'converged' if res.converged else 'not converged'}, "
+              f"simulated {format_seconds(res.total_seconds)}")
+        if scalars:
+            print(f"  {scalars}")
+        if recovered is not None:
+            print(f"  resilience: {recovered.summary()}")
+        report = report_from_program(res, context={**context, **{
+            k: v for k, v in params.items()
+            if isinstance(v, (int, float, bool, str))
+        }})
+
+    if args.report:
+        print(f"run report: {report.save(args.report)}")
+    if tracer is not None and not _write_trace(tracer, args.trace):
+        return 1
     return 0
 
 
@@ -793,6 +1019,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "ocs": _cmd_ocs,
     "sssp": _cmd_sssp,
+    "algo": _cmd_algo,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,

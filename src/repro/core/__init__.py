@@ -8,24 +8,30 @@
 - :mod:`repro.core.segmenting` — CG-aware core subgraph segmenting (§4.3).
 - :mod:`repro.core.balance` — edge-aware vertex-cut load balancing (§5).
 - :mod:`repro.core.engine` — the BFS engine tying it together.
+- :mod:`repro.core.programs` — the vertex-program layer: SSSP,
+  PageRank, connected components and triangle counting on the same
+  scheduler and kernels (§8's algorithm neutrality).
 - :mod:`repro.core.metrics` — per-run traces shaped like the paper's
   figures.
 - :mod:`repro.core.config` — toggles for every optimization (ablations).
 """
 
-from repro.core.algorithms import (
+from repro.core.balance import edge_aware_cuts, vertex_cut_imbalance
+from repro.core.config import BFSConfig
+from repro.core.programs import (
+    DeltaSteppingResult,
     PageRankResult,
+    ProgramRunResult,
     SSSPResult,
+    VertexProgram,
+    build_program,
+    connected_components,
+    delta_stepping_sssp,
     generate_weights,
     pagerank,
     sssp,
-)
-from repro.core.balance import edge_aware_cuts, vertex_cut_imbalance
-from repro.core.config import BFSConfig
-from repro.core.delta_stepping import (
-    DeltaSteppingResult,
-    delta_stepping_sssp,
     suggest_delta,
+    triangle_count,
 )
 from repro.core.preprocessing import (
     PreprocessingReport,
@@ -72,6 +78,11 @@ __all__ = [
     "generate_weights",
     "pagerank",
     "PageRankResult",
+    "VertexProgram",
+    "ProgramRunResult",
+    "build_program",
+    "connected_components",
+    "triangle_count",
     "preprocess",
     "PreprocessingReport",
     "estimate_construction_seconds",

@@ -1,308 +1,37 @@
-"""Beyond BFS: SSSP and PageRank on the 1.5D partitioning (paper §8).
+"""Beyond BFS: the classic algorithm entry points (compat facade).
 
-The discussion section argues the 3-level degree-aware 1.5D partitioning
-"is a graph partitioning method neutral to the graph algorithm" and that
-a general-purpose framework (the next ShenTu) could be built on it.  This
-module substantiates the claim with two more kernels running over the
-same :class:`~repro.core.partition.PartitionedGraph` and the same traffic
-ledger:
+The bespoke SSSP/PageRank sweep loops that used to live here (and the
+delta-stepping loop in the deleted ``delta_stepping.py``) were
+re-mounted as vertex programs — see :mod:`repro.core.programs` and
+``docs/programs.md``.  Every algorithm now executes through the shared
+:class:`~repro.core.kernels.scheduler.LevelSyncScheduler` and the six
+1.5D :class:`~repro.core.kernels.base.ComponentKernel`\\ s, inheriting
+direction choice, ledger charging, spans, metrics and resilience; the
+outputs are bit-identical to the old loops (pinned by
+``tests/golden/programs_golden.json``).
 
-- :func:`sssp` — level-synchronous label-correcting single-source
-  shortest paths (the Graph500 benchmark's second kernel) with uniform
-  random edge weights per the specification.
-- :func:`pagerank` — damped power iteration; each iteration is one
-  push-mode sweep over the six components with delegate-style reductions.
-
-Both compute exact results (tests compare against scipy/networkx) and
-charge the ledger with the same component placement as BFS, so their
-simulated cost profiles inherit the partitioning's communication
-structure.
+This module re-exports the function-style API so existing imports keep
+working; new code should use the program classes or
+:func:`repro.core.programs.build_program` directly.
 """
 
-from __future__ import annotations
+from repro.core.programs.pagerank import PageRankResult, pagerank
+from repro.core.programs.sssp import (
+    DeltaSteppingResult,
+    SSSPResult,
+    delta_stepping_sssp,
+    generate_weights,
+    sssp,
+    suggest_delta,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.partition import PartitionedGraph
-from repro.core.subgraphs import COMPONENT_ORDER
-from repro.machine.costmodel import CollectiveKind, CostModel, NodeKernelRates
-from repro.machine.network import MachineSpec
-from repro.runtime.ledger import TrafficLedger
-
-__all__ = ["SSSPResult", "sssp", "generate_weights", "PageRankResult", "pagerank"]
-
-_REMOTE = ("H2L", "L2H", "L2L")
-
-
-def generate_weights(num_edges: int, *, seed: int = 2) -> np.ndarray:
-    """Uniform [0, 1) edge weights, as the Graph500 SSSP kernel specifies."""
-    return np.random.default_rng(seed).random(num_edges)
-
-
-@dataclass
-class SSSPResult:
-    """Output of a distributed SSSP run."""
-
-    root: int
-    distance: np.ndarray
-    parent: np.ndarray
-    num_iterations: int
-    relaxations: int
-    ledger: TrafficLedger
-
-    @property
-    def total_seconds(self) -> float:
-        return self.ledger.total_seconds
-
-    def gteps(self, num_edges: int) -> float:
-        """Graph500 SSSP counts input edges per traversal second."""
-        if self.total_seconds <= 0:
-            return 0.0
-        return num_edges / self.total_seconds / 1e9
-
-
-def _arc_weights(part: PartitionedGraph, weights_by_pair) -> dict[str, np.ndarray]:
-    """Weight per stored arc of each component, looked up by endpoint pair."""
-    out = {}
-    for name, comp in part.components.items():
-        if comp.num_arcs == 0:
-            out[name] = np.array([], dtype=np.float64)
-            continue
-        s, d, _ = comp.arcs()
-        out[name] = weights_by_pair(s, d)
-    return out
-
-
-def sssp(
-    part: PartitionedGraph,
-    root: int,
-    weights: np.ndarray | None = None,
-    *,
-    edge_src: np.ndarray | None = None,
-    edge_dst: np.ndarray | None = None,
-    machine: MachineSpec | None = None,
-    max_iterations: int = 10_000,
-) -> SSSPResult:
-    """Single-source shortest paths over the partitioned graph.
-
-    Level-synchronous Bellman-Ford: every iteration pushes relaxations
-    from the vertices whose distance improved, component by component in
-    the 1.5D order, charging compute and messaging exactly like BFS push
-    sub-iterations.  With nonnegative weights this converges to exact
-    distances.
-
-    Parameters
-    ----------
-    part:
-        The partitioned graph (also defines arc placement).
-    root:
-        Source vertex.
-    weights:
-        Per-input-edge weights aligned with ``edge_src``/``edge_dst``.
-        When all three are omitted, unit weights are used (SSSP then
-        equals BFS depth).
-    """
-    n = part.num_vertices
-    if not 0 <= root < n:
-        raise ValueError(f"root {root} out of range for n={n}")
-    mesh = part.mesh
-    if machine is None:
-        machine = mesh.machine or MachineSpec(num_nodes=mesh.num_ranks)
-    rates = NodeKernelRates(chip=machine.chip)
-    ledger = TrafficLedger(CostModel(machine))
-    ws = machine.work_scale
-    p = mesh.num_ranks
-
-    if weights is None:
-        def weight_of(s, d):
-            return np.ones(s.size, dtype=np.float64)
-    else:
-        if edge_src is None or edge_dst is None:
-            raise ValueError("weights require edge_src/edge_dst for alignment")
-        weights = np.asarray(weights, dtype=np.float64)
-        if np.any(weights < 0):
-            raise ValueError("sssp requires nonnegative weights")
-        # weight lookup by undirected endpoint pair (min weight for
-        # duplicate edges, matching the multigraph shortest path)
-        lo = np.minimum(edge_src, edge_dst)
-        hi = np.maximum(edge_src, edge_dst)
-        key = lo * n + hi
-        order = np.argsort(key, kind="stable")
-        key_sorted = key[order]
-        w_sorted = np.minimum.reduceat(
-            weights[order],
-            np.concatenate(([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)),
-        )
-        key_unique = np.unique(key_sorted)
-
-        def weight_of(s, d):
-            k = np.minimum(s, d) * n + np.maximum(s, d)
-            idx = np.searchsorted(key_unique, k)
-            return w_sorted[idx]
-
-    arc_w = _arc_weights(part, weight_of)
-
-    dist = np.full(n, np.inf)
-    parent = np.full(n, -1, dtype=np.int64)
-    dist[root] = 0.0
-    parent[root] = root
-    improved = np.zeros(n, dtype=bool)
-    improved[root] = True
-    relaxations = 0
-    it = 0
-
-    for it in range(max_iterations):
-        if not improved.any():
-            break
-        next_improved = np.zeros(n, dtype=bool)
-        for name in COMPONENT_ORDER:
-            comp = part.components[name]
-            if comp.num_arcs == 0:
-                continue
-            sel = comp.push_select(improved)
-            if sel.num_arcs == 0:
-                continue
-            per_rank = sel.per_rank(p)
-            seconds = rates.kernel_time(
-                int(per_rank.max()), rates.message_rate(), ws
-            )
-            ledger.charge_compute(name, f"relax:{name}", per_rank, seconds)
-            if name in _REMOTE:
-                max_bytes = float(per_rank.max()) * 16  # dist + parent payload
-                ledger.charge_collective(
-                    name,
-                    CollectiveKind.ALLTOALLV,
-                    participants=p if name == "L2L" else mesh.cols,
-                    max_bytes_intra=max_bytes * 0.5,
-                    max_bytes_inter=max_bytes * 0.5,
-                    total_bytes=float(per_rank.sum()) * 16,
-                )
-            # weights of the selected arcs: recompute via lookup on the
-            # selected endpoints (component arc order is not preserved by
-            # push_select, so look up directly).
-            w = weight_of(sel.src, sel.dst) if weights is not None else np.ones(sel.num_arcs)
-            cand = dist[sel.src] + w
-            better = cand < dist[sel.dst]
-            relaxations += int(np.count_nonzero(better))
-            if not np.any(better):
-                continue
-            d_idx = sel.dst[better]
-            c = cand[better]
-            s_idx = sel.src[better]
-            # reduce to the minimum candidate per destination
-            order = np.lexsort((c, d_idx))
-            d_sorted, c_sorted, s_sorted = d_idx[order], c[order], s_idx[order]
-            first = np.concatenate(
-                ([True], d_sorted[1:] != d_sorted[:-1])
-            )
-            d_min, c_min, s_min = d_sorted[first], c_sorted[first], s_sorted[first]
-            apply = c_min < dist[d_min]
-            dist[d_min[apply]] = c_min[apply]
-            parent[d_min[apply]] = s_min[apply]
-            next_improved[d_min[apply]] = True
-        improved = next_improved
-
-    return SSSPResult(
-        root=root,
-        distance=dist,
-        parent=parent,
-        num_iterations=it,
-        relaxations=relaxations,
-        ledger=ledger,
-    )
-
-
-@dataclass
-class PageRankResult:
-    """Output of a distributed PageRank run."""
-
-    ranks: np.ndarray
-    num_iterations: int
-    converged: bool
-    ledger: TrafficLedger
-
-    @property
-    def total_seconds(self) -> float:
-        return self.ledger.total_seconds
-
-
-def pagerank(
-    part: PartitionedGraph,
-    *,
-    damping: float = 0.85,
-    tol: float = 1e-8,
-    max_iterations: int = 100,
-    machine: MachineSpec | None = None,
-) -> PageRankResult:
-    """Damped PageRank by power iteration over the six components.
-
-    Each iteration is a full push sweep: every component scatters rank
-    mass along its arcs (so the sweep's communication profile matches a
-    dense BFS push iteration), followed by the delegate reduction.
-    Dangling-vertex mass is redistributed uniformly, matching networkx's
-    convention so tests can compare directly.
-    """
-    if not 0.0 < damping < 1.0:
-        raise ValueError("damping must be in (0, 1)")
-    n = part.num_vertices
-    mesh = part.mesh
-    if machine is None:
-        machine = mesh.machine or MachineSpec(num_nodes=mesh.num_ranks)
-    rates = NodeKernelRates(chip=machine.chip)
-    ledger = TrafficLedger(CostModel(machine))
-    ws = machine.work_scale
-    p = mesh.num_ranks
-
-    degrees = part.degrees.astype(np.float64)
-    out_deg = np.maximum(degrees, 1.0)
-    dangling = degrees == 0
-
-    rank = np.full(n, 1.0 / n)
-    converged = False
-    it = 0
-    for it in range(1, max_iterations + 1):
-        contrib = rank / out_deg
-        incoming = np.zeros(n)
-        for name in COMPONENT_ORDER:
-            comp = part.components[name]
-            if comp.num_arcs == 0:
-                continue
-            s, d, r = comp.arcs()
-            np.add.at(incoming, d, contrib[s])
-            per_rank = comp.arcs_per_rank
-            seconds = rates.kernel_time(
-                int(per_rank.max()), rates.message_rate(), ws
-            )
-            ledger.charge_compute(name, f"scatter:{name}", per_rank, seconds)
-            if name in _REMOTE:
-                max_bytes = float(per_rank.max()) * 8
-                ledger.charge_collective(
-                    name,
-                    CollectiveKind.ALLTOALLV,
-                    participants=p if name == "L2L" else mesh.cols,
-                    max_bytes_intra=max_bytes * 0.5,
-                    max_bytes_inter=max_bytes * 0.5,
-                    total_bytes=float(per_rank.sum()) * 8,
-                )
-        dangling_mass = float(rank[dangling].sum())
-        new_rank = (1.0 - damping) / n + damping * (incoming + dangling_mass / n)
-        # delegate reduction of the rank vector (like the parent reduce)
-        ledger.charge_collective(
-            "reduce",
-            CollectiveKind.REDUCE_SCATTER,
-            p,
-            float(part.num_eh) * 8,
-            0.0,
-            total_bytes=float(part.num_eh) * 8 * p,
-        )
-        delta = float(np.abs(new_rank - rank).sum())
-        rank = new_rank
-        if delta < tol:
-            converged = True
-            break
-
-    return PageRankResult(
-        ranks=rank, num_iterations=it, converged=converged, ledger=ledger
-    )
+__all__ = [
+    "SSSPResult",
+    "sssp",
+    "generate_weights",
+    "PageRankResult",
+    "pagerank",
+    "DeltaSteppingResult",
+    "delta_stepping_sssp",
+    "suggest_delta",
+]

@@ -141,6 +141,20 @@ class DistributedBFS(SchedulerHost):
         """
         return self.scheduler.run(root, **resilience)
 
+    def run_program(self, program, **resilience):
+        """Run a :class:`~repro.core.programs.base.VertexProgram` through
+        the six 1.5D kernels.
+
+        Binds the program to this engine's partition and enters
+        :meth:`~repro.core.kernels.scheduler.LevelSyncScheduler.run_program`;
+        the program inherits the engine's delegate-sync pricing, §4.2
+        direction policy, per-class activation trace and §5 parent/state
+        reduction through the same host hooks BFS uses.  ``**resilience``
+        forwards ``faults``/``checkpointer``/``resume``.
+        """
+        program.bind(self.part)
+        return self.scheduler.run_program(program, **resilience)
+
     # ------------------------------------------------------------------
     # scheduler hooks (the 1.5D policy)
     # ------------------------------------------------------------------

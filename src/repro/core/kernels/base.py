@@ -99,6 +99,41 @@ class ComponentKernel(ABC):
         """Whether :meth:`execute_lanes` is implemented."""
         return type(self).execute_lanes is not ComponentKernel.execute_lanes
 
+    def execute_program(
+        self,
+        program,
+        direction: str,
+        active: np.ndarray,
+        ledger: TrafficLedger,
+        record: IterationRecord,
+    ) -> np.ndarray:
+        """Run one vertex-program sub-iteration in ``direction``.
+
+        Selects this component's arcs for the frontier (push: arcs whose
+        source is active; pull: the full runs of the program's candidate
+        destinations, filtered to active sources — no early exit, since
+        value combines must see every active in-neighbour), charges the
+        same kernels and collectives a BFS sub-iteration would at the
+        program's ``message_bytes``, then hands the arcs to
+        ``program.edge_sweep`` for gather → combine → apply.  Returns the
+        vertex IDs the program activated; the scheduler accumulates them
+        into the iteration's touched set.  State lives in the program, so
+        the kernel stays algorithm-agnostic.
+
+        Kernels that cannot execute programs leave this unimplemented;
+        ``LevelSyncScheduler.run_program`` refuses to mount them.
+        """
+        raise NotImplementedError(
+            f"kernel {type(self).__name__} does not support vertex programs"
+        )
+
+    @property
+    def supports_programs(self) -> bool:
+        """Whether :meth:`execute_program` is implemented."""
+        return (
+            type(self).execute_program is not ComponentKernel.execute_program
+        )
+
 
 class KernelRegistry:
     """Component name -> :class:`ComponentKernel` subclass.

@@ -353,6 +353,16 @@ class _FifteenDKernel(ComponentKernel):
     def route_pull_hits_lanes(self, scan, ledger, record) -> None:
         """Charge delivery of batched bottom-up hits (if remote)."""
 
+    # -- vertex-program policy hooks (program-sized message variants) ---
+
+    def route_program_push(self, sel, ledger, record, message_bytes) -> None:
+        """Charge the remote traffic of pushed program messages (nothing
+        if local).  One wire message per selected arc, ``message_bytes``
+        wide (programs carry a value alongside the vertex ID)."""
+
+    def route_program_pull(self, sel, ledger, record, message_bytes) -> None:
+        """Charge delivery of pulled program messages (nothing if local)."""
+
     # -- execution ------------------------------------------------------
 
     def execute(self, direction, active, visited, ledger, record):
@@ -364,6 +374,48 @@ class _FifteenDKernel(ComponentKernel):
         if direction == "push":
             return self._execute_push_lanes(group_lanes, lanes, ledger, record)
         return self._execute_pull_lanes(group_lanes, lanes, ledger, record)
+
+    def execute_program(self, program, direction, active, ledger, record):
+        if direction == "push":
+            return self._execute_program_push(program, active, ledger, record)
+        return self._execute_program_pull(program, active, ledger, record)
+
+    def _execute_program_push(self, program, active, ledger, record):
+        """Top-down program sub-iteration: the frontier's arcs in the
+        same by-source CSR order (and at the same per-rank compute and
+        alltoallv prices) as a BFS push, with the first-writer commit
+        replaced by the program's gather → combine → apply."""
+        ctx, name = self.ctx, self.name
+        sel = self.comp.push_select(active)
+        per_rank = sel.per_rank(ctx.num_ranks)
+        record.scanned_arcs[name] = sel.num_arcs
+        seconds = self.push_seconds(per_rank, active)
+        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+        if sel.num_arcs:
+            self.route_program_push(
+                sel, ledger, record, program.message_bytes
+            )
+        return program.edge_sweep(name, sel.src, sel.dst)
+
+    def _execute_program_pull(self, program, active, ledger, record):
+        """Bottom-up program sub-iteration: full-run scans of the
+        program's candidate destinations (no early exit — a value
+        combine must see every active in-neighbour), priced at the same
+        pull rate as BFS."""
+        ctx, name = self.ctx, self.name
+        candidates = program.pull_candidates()
+        self.charge_pull_prereq(ledger, active, ~candidates)
+        sel = self.comp.pull_select(candidates, active)
+        record.scanned_arcs[name] = sel.scanned_arcs
+        seconds = ctx.kernel_time(
+            int(sel.scanned_per_rank.max()), self.pull_rate()
+        )
+        ledger.charge_compute(name, f"pull:{name}", sel.scanned_per_rank, seconds)
+        if sel.num_arcs:
+            self.route_program_pull(
+                sel, ledger, record, program.message_bytes
+            )
+        return program.edge_sweep(name, sel.src, sel.dst)
 
     def _execute_push(self, active, visited, ledger, record):
         ctx, name = self.ctx, self.name
@@ -558,6 +610,34 @@ class _RowMessageKernel(_FifteenDKernel):
         recv_rank = self.owner_of_dst(scan.msg_dst, scan.msg_rank)
         ctx.charge_receiver_kernel(name, recv_rank, ledger, "pull_recv")
 
+    def route_program_push(self, sel, ledger, record, message_bytes):
+        # One (vertex, value) message per pushed arc, intra-row.
+        ctx, name = self.ctx, self.name
+        record.messages[name] = sel.num_arcs
+        ctx.charge_row_alltoallv(
+            name,
+            np.bincount(sel.rank, minlength=ctx.num_ranks),
+            ledger,
+            message_bytes=message_bytes,
+        )
+        recv_rank = self.owner_of_dst(sel.dst, sel.rank)
+        ctx.charge_receiver_kernel(name, recv_rank, ledger, "push_recv")
+
+    def route_program_pull(self, sel, ledger, record, message_bytes):
+        # Pulled (vertex, value) contributions travel the same intra-row
+        # path as pull hits, one message per selected arc (no early exit
+        # means no per-destination dedup before the combine).
+        ctx, name = self.ctx, self.name
+        record.messages[name] = sel.num_arcs
+        ctx.charge_row_alltoallv(
+            name,
+            np.bincount(sel.rank, minlength=ctx.num_ranks),
+            ledger,
+            message_bytes=message_bytes,
+        )
+        recv_rank = self.owner_of_dst(sel.dst, sel.rank)
+        ctx.charge_receiver_kernel(name, recv_rank, ledger, "pull_recv")
+
 
 @FIFTEEND_KERNELS.register("H2L")
 class H2LKernel(_RowMessageKernel):
@@ -620,6 +700,12 @@ class L2LKernel(_FifteenDKernel):
         ctx = self.ctx
         return ctx.kernel_time(int(per_rank.max()), ctx.message_rate())
 
+    def pull_rate(self):
+        # A program pull over 1D light arcs generates query/reply
+        # messages (no local bitmap to scan), so the sweep is priced at
+        # the message-generation rate like the native L2L pull.
+        return self.ctx.message_rate()
+
     def route_push(self, sel, ledger, record):
         # Two-stage forwarding through the intersection rank of the
         # source's column and the destination's row (§4.4).
@@ -637,6 +723,28 @@ class L2LKernel(_FifteenDKernel):
             sel.rank, o_dst, ledger, message_bytes=LANE_MESSAGE_BYTES
         )
         ctx.charge_receiver_kernel("L2L", o_dst, ledger, "push_recv")
+
+    def route_program_push(self, sel, ledger, record, message_bytes):
+        ctx = self.ctx
+        record.messages["L2L"] = sel.num_arcs
+        o_dst = ctx.mesh.owner_of(sel.dst, ctx.num_vertices)
+        ctx.charge_l2l_alltoallv(
+            sel.rank, o_dst, ledger, message_bytes=message_bytes
+        )
+        ctx.charge_receiver_kernel("L2L", o_dst, ledger, "push_recv")
+
+    def route_program_pull(self, sel, ledger, record, message_bytes):
+        # Query/reply economics as in BFS pull: each pulled contribution
+        # costs the two-stage query plus the value-carrying reply.
+        ctx = self.ctx
+        record.messages["L2L"] = 2 * sel.num_arcs
+        o_peer = ctx.mesh.owner_of(sel.src, ctx.num_vertices)
+        ctx.charge_l2l_alltoallv(sel.rank, o_peer, ledger)
+        ctx.charge_receiver_kernel("L2L", o_peer, ledger, "pull_query")
+        ctx.charge_l2l_alltoallv(
+            o_peer, sel.rank, ledger, message_bytes=message_bytes
+        )
+        ctx.charge_receiver_kernel("L2L", sel.rank, ledger, "pull_reply")
 
     def _execute_pull(self, active, visited, ledger, record):
         """Bottom-up L2L via batched query/reply messages.

@@ -356,6 +356,187 @@ class LevelSyncScheduler:
                 )
 
     # ------------------------------------------------------------------
+    # vertex programs
+    # ------------------------------------------------------------------
+
+    def run_program(
+        self,
+        program,
+        *,
+        faults=None,
+        checkpointer=None,
+        resume=None,
+    ):
+        """Run a bound :class:`~repro.core.programs.base.VertexProgram`
+        through the mounted kernel set.
+
+        The loop is the BFS level loop with the commit step generalized:
+        instead of parent/visited bookkeeping, each component hands its
+        selected arcs to the program's gather → combine → apply and the
+        union of activations feeds ``program.end_iteration``, which
+        returns the next frontier (or ``None`` when converged).  Faults,
+        checkpointing (via
+        :meth:`~repro.resilience.checkpoint.LevelCheckpointer.save_program`),
+        spans (``program`` → ``iteration`` → ``component``), and the
+        per-component metric families all come from the shared loop —
+        zero per-algorithm glue.
+        """
+        from repro.core.programs.base import ProgramRunResult
+
+        host = self.host
+        tracer = self.tracer
+        metrics = self.metrics
+        for name, kernel in self.kernels.items():
+            if kernel.num_arcs and not kernel.supports_programs:
+                raise NotImplementedError(
+                    f"kernel {name} does not support vertex programs"
+                )
+        ledger = host.make_ledger(tracer, metrics)
+        if faults is not None and faults.enabled:
+            ledger.faults = faults
+
+        if resume is None:
+            active = program.initial_frontier()
+            records: list[IterationRecord] = []
+            start_it = 0
+            metrics.counter("program_runs", program=program.name).inc()
+        else:
+            if resume.program != program.name:
+                raise ValueError(
+                    f"resume snapshot is for program {resume.program!r}, "
+                    f"not {program.name!r}"
+                )
+            program.restore(resume.state)
+            active = resume.active.copy()
+            records = list(resume.records)
+            start_it = resume.iteration + 1
+            if checkpointer is not None and resume.iteration >= 0:
+                checkpointer.charge_restore(ledger, resume)
+            metrics.counter("program_resumes", program=program.name).inc()
+
+        with tracer.span("program", category="bfs", program=program.name):
+            try:
+                self._program_loop(
+                    program, host, ledger, active, records, start_it,
+                    faults, checkpointer,
+                )
+            except Exception as exc:
+                from repro.resilience.faults import RankCrashError
+
+                if isinstance(exc, RankCrashError):
+                    exc.ledger = ledger
+                    exc.completed_iterations = len(records)
+                if faults is not None:
+                    faults.end_run()
+                raise
+            host.end_run(ledger, tracer, None)
+            program.end_run()
+        if faults is not None:
+            faults.end_run()
+
+        return ProgramRunResult(
+            program=program.name,
+            state=program.state_arrays(),
+            iterations=records,
+            ledger=ledger,
+            num_input_edges=host.num_input_edges,
+            converged=program.converged,
+            info=program.info(),
+        )
+
+    def _program_loop(
+        self, program, host, ledger, active, records, start_it,
+        faults, checkpointer,
+    ) -> None:
+        """The shared per-iteration program loop (see :meth:`run_program`)."""
+        n = host.num_vertices
+        tracer = self.tracer
+        metrics = self.metrics
+        pname = program.name
+        for it in range(start_it, program.max_iterations):
+            if faults is not None:
+                faults.begin_iteration(it)
+            if active is None or not active.any():
+                break
+            frontier = int(np.count_nonzero(active))
+            metrics.counter("program_iterations", program=pname).inc()
+            metrics.histogram("frontier_size").observe(frontier)
+            with tracer.span(
+                "iteration", category="iteration", index=it, frontier=frontier
+            ):
+                settled = program.settled_mask()
+                host.begin_iteration(ledger, active, settled)
+                program.begin_iteration(it, active)
+                record = IterationRecord(index=it, frontier_size=frontier)
+                touched = np.zeros(n, dtype=bool)
+                free_choice = (
+                    program.forced_direction is None and program.supports_pull
+                )
+                metrics.counter(
+                    "direction_mode", mode="fresh" if free_choice else "forced"
+                ).inc()
+
+                for name, kernel in self.kernels.items():
+                    if kernel.num_arcs == 0:
+                        record.directions[name] = "-"
+                        metrics.counter(
+                            "subiteration_skips", component=name
+                        ).inc()
+                        continue
+                    if free_choice:
+                        direction = host.component_direction(
+                            name, active, settled
+                        )
+                    else:
+                        direction = program.forced_direction or "push"
+                    record.directions[name] = direction
+                    with tracer.span(
+                        name,
+                        category="component",
+                        iteration=it,
+                        direction=direction,
+                    ) as csp:
+                        newly = kernel.execute_program(
+                            program, direction, active, ledger, record
+                        )
+                        csp.add_counter(
+                            "edges", record.scanned_arcs.get(name, 0)
+                        )
+                        if record.messages.get(name, 0):
+                            csp.add_counter("messages", record.messages[name])
+                        csp.add_counter("activated", newly.size)
+                    labels = dict(component=name, direction=direction)
+                    metrics.counter("subiterations", **labels).inc()
+                    metrics.counter("edges_scanned", **labels).inc(
+                        record.scanned_arcs.get(name, 0)
+                    )
+                    metrics.counter("messages", **labels).inc(
+                        record.messages.get(name, 0)
+                    )
+                    metrics.counter("activated", **labels).inc(newly.size)
+                    if newly.size:
+                        touched[newly] = True
+
+                host.record_activation(record, touched)
+                metrics.counter("program_updates", program=pname).inc(
+                    int(np.count_nonzero(touched))
+                )
+                next_active = program.end_iteration(it, active, touched)
+                host.end_iteration(
+                    ledger, record, active, settled, None, next_active
+                )
+                records.append(record)
+                active = next_active
+
+            # Iteration committed — program state is the consistency
+            # point, exactly like the level commit in BFS.
+            if checkpointer is not None and active is not None and checkpointer.due(it):
+                checkpointer.save_program(
+                    ledger=ledger, program=program, iteration=it,
+                    active=active, records=records,
+                )
+
+    # ------------------------------------------------------------------
     # batched (multi-source) waves
     # ------------------------------------------------------------------
 

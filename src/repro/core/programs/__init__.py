@@ -1,0 +1,252 @@
+"""Vertex programs: the algorithm-neutral layer over the 1.5D engine.
+
+One :class:`~repro.core.programs.base.VertexProgram` contract, one
+scheduler loop, six component kernels — every registered program
+inherits §4.2 direction choices, ledger charging, spans, metric
+families, fault injection and checkpointing with zero per-algorithm
+glue.  See ``docs/programs.md`` for the contract and a tutorial.
+
+The :data:`PROGRAM_REGISTRY` maps CLI/serving names to factories;
+:func:`build_program` is the single entry point the ``algo`` subcommand
+and :class:`~repro.serve.service.TraversalService` resolve through.
+BFS itself stays on the scheduler's native ``run`` path (its early-exit
+pull and MSBFS batching are visited-bit machinery a value program does
+not need); the registry marks it ``native_bfs`` so callers dispatch it
+to ``engine.run(root)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.programs.base import EMPTY_IDS, ProgramRunResult, VertexProgram
+from repro.core.programs.components import (
+    ConnectedComponentsProgram,
+    connected_components,
+)
+from repro.core.programs.pagerank import PageRankProgram, PageRankResult, pagerank
+from repro.core.programs.sssp import (
+    BellmanFordProgram,
+    DeltaSteppingProgram,
+    DeltaSteppingResult,
+    SSSPResult,
+    WeightTable,
+    delta_stepping_sssp,
+    generate_weights,
+    sssp,
+    suggest_delta,
+)
+from repro.core.programs.triangles import TriangleCountingProgram, triangle_count
+
+__all__ = [
+    "VertexProgram",
+    "ProgramRunResult",
+    "EMPTY_IDS",
+    "ProgramSpec",
+    "PROGRAM_REGISTRY",
+    "register_program",
+    "available_programs",
+    "build_program",
+    "BellmanFordProgram",
+    "DeltaSteppingProgram",
+    "PageRankProgram",
+    "ConnectedComponentsProgram",
+    "TriangleCountingProgram",
+    "WeightTable",
+    "SSSPResult",
+    "DeltaSteppingResult",
+    "PageRankResult",
+    "generate_weights",
+    "suggest_delta",
+    "sssp",
+    "delta_stepping_sssp",
+    "pagerank",
+    "connected_components",
+    "triangle_count",
+]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Registry entry: how to build (and describe) one program."""
+
+    name: str
+    factory: Callable
+    description: str
+    #: Whether the program traverses from a source vertex (``root``
+    #: required by serving; the CLI defaults it to the max-degree hub).
+    needs_root: bool = False
+    #: BFS dispatches to the scheduler's native ``run``/``run_batch``
+    #: path instead of ``run_program`` (early-exit pull, MSBFS lanes).
+    native_bfs: bool = False
+
+
+PROGRAM_REGISTRY: dict[str, ProgramSpec] = {}
+
+
+def register_program(spec: ProgramSpec) -> ProgramSpec:
+    """Register a program under its name (rejects duplicates)."""
+    if spec.name in PROGRAM_REGISTRY:
+        raise ValueError(f"program already registered for {spec.name!r}")
+    PROGRAM_REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_programs() -> tuple[str, ...]:
+    return tuple(sorted(PROGRAM_REGISTRY))
+
+
+def build_program(name: str, part, **params) -> VertexProgram:
+    """Build a registered program for ``part``.
+
+    ``params`` are forwarded to the factory (``root``, ``weights``,
+    ``delta``, ``damping``, ...).  Raises ``ValueError`` for unknown
+    names or for ``"bfs"`` (which runs natively through
+    ``engine.run(root)``, not the program path).
+    """
+    spec = PROGRAM_REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown program {name!r} (available: "
+            f"{', '.join(available_programs())})"
+        )
+    if spec.native_bfs:
+        raise ValueError(
+            "bfs runs natively through engine.run(root); "
+            "build_program only constructs vertex programs"
+        )
+    return spec.factory(part, **params)
+
+
+# ----------------------------------------------------------------------
+# built-in registrations
+# ----------------------------------------------------------------------
+
+
+def _bfs_factory(part, **params):  # pragma: no cover - guarded above
+    raise ValueError("bfs runs natively through engine.run(root)")
+
+
+def _sssp_factory(
+    part,
+    *,
+    root: int = 0,
+    weights=None,
+    edge_src=None,
+    edge_dst=None,
+    max_iterations: int = 10_000,
+):
+    weight_of = None
+    if weights is not None:
+        if edge_src is None or edge_dst is None:
+            raise ValueError("weights require edge_src/edge_dst for alignment")
+        weight_of = WeightTable(
+            part.num_vertices, weights, edge_src, edge_dst, context="sssp"
+        )
+    program = BellmanFordProgram(root, weight_of)
+    program.max_iterations = int(max_iterations)
+    return program
+
+
+def _delta_factory(
+    part,
+    *,
+    root: int = 0,
+    weights=None,
+    edge_src=None,
+    edge_dst=None,
+    delta=None,
+    max_buckets: int = 1_000_000,
+):
+    if weights is not None:
+        if edge_src is None or edge_dst is None:
+            raise ValueError("weights require edge_src/edge_dst for alignment")
+        weight_of = WeightTable(
+            part.num_vertices,
+            weights,
+            edge_src,
+            edge_dst,
+            context="delta-stepping",
+        )
+        if delta is None:
+            delta = suggest_delta(
+                np.asarray(weights, dtype=np.float64), part.degrees
+            )
+    else:
+        def weight_of(s, d):
+            return np.ones(s.size, dtype=np.float64)
+
+        if delta is None:
+            delta = suggest_delta(np.ones(1), part.degrees)
+    return DeltaSteppingProgram(root, weight_of, delta, max_buckets=max_buckets)
+
+
+def _pagerank_factory(
+    part,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iterations: int = 100,
+):
+    return PageRankProgram(
+        damping=damping, tol=tol, max_iterations=max_iterations
+    )
+
+
+def _cc_factory(part):
+    return ConnectedComponentsProgram()
+
+
+def _triangles_factory(part):
+    return TriangleCountingProgram()
+
+
+register_program(
+    ProgramSpec(
+        name="bfs",
+        factory=_bfs_factory,
+        description="Graph500 BFS (native scheduler path, MSBFS-batchable)",
+        needs_root=True,
+        native_bfs=True,
+    )
+)
+register_program(
+    ProgramSpec(
+        name="sssp",
+        factory=_sssp_factory,
+        description="Bellman-Ford SSSP (unit weights unless provided)",
+        needs_root=True,
+    )
+)
+register_program(
+    ProgramSpec(
+        name="sssp-delta",
+        factory=_delta_factory,
+        description="delta-stepping SSSP (buckets as staged frontiers)",
+        needs_root=True,
+    )
+)
+register_program(
+    ProgramSpec(
+        name="pagerank",
+        factory=_pagerank_factory,
+        description="damped PageRank power iteration",
+    )
+)
+register_program(
+    ProgramSpec(
+        name="cc",
+        factory=_cc_factory,
+        description="connected components by min-label propagation",
+    )
+)
+register_program(
+    ProgramSpec(
+        name="triangles",
+        factory=_triangles_factory,
+        description="exact triangle counting by arc-wise intersection",
+    )
+)

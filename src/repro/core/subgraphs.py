@@ -36,6 +36,7 @@ __all__ = [
     "SubgraphComponent",
     "PushSelection",
     "PullScan",
+    "PullSelection",
     "LanePullScan",
     "COMPONENT_ORDER",
 ]
@@ -77,6 +78,32 @@ class PullScan:
     @property
     def num_hits(self) -> int:
         return int(self.hit_dst.size)
+
+    @property
+    def scanned_arcs(self) -> int:
+        return int(self.scanned_per_rank.sum())
+
+
+@dataclass(frozen=True)
+class PullSelection:
+    """Arcs selected by a bottom-up sub-iteration *without* early exit.
+
+    Vertex programs with value combines (min-label, sum-of-contrib) must
+    see **every** active in-neighbour of a candidate destination, so the
+    BFS early exit does not apply: each candidate group is scanned to the
+    end and all arcs with an active source are returned.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    rank: np.ndarray
+    #: Arcs scanned by each rank — the *full* runs of every candidate
+    #: group, not just the selected arcs.
+    scanned_per_rank: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.src.size)
 
     @property
     def scanned_arcs(self) -> int:
@@ -282,6 +309,48 @@ class SubgraphComponent:
         g_dst, g_rank, g_src = g_dst[order], g_rank[order], g_src[order]
         uniq, first = np.unique(g_dst, return_index=True)
         return PullScan(uniq, g_src[first], g_rank[first], scanned_per_rank)
+
+    def pull_select(
+        self, candidate_dst: np.ndarray, active_src: np.ndarray
+    ) -> PullSelection:
+        """Bottom-up arc selection without early exit (vertex programs).
+
+        Every (rank, dst) group whose destination satisfies
+        ``candidate_dst`` is scanned end to end; arcs whose source
+        satisfies ``active_src`` are returned.  With ``candidate_dst``
+        all-true the selected arc *set* equals ``push_select(active_src)``
+        (ordering differs: pull order is grouped by (rank, dst)), which is
+        what makes direction choice value-neutral for commutative
+        combines.
+        """
+        empty = np.array([], dtype=np.int64)
+        no_scan = np.zeros(self.num_ranks, dtype=np.int64)
+        if self.num_groups == 0:
+            return PullSelection(empty, empty, empty, no_scan)
+        cand_groups = np.flatnonzero(candidate_dst[self.grp_dst])
+        if cand_groups.size == 0:
+            return PullSelection(empty, empty, empty, no_scan)
+        starts = self.grp_ptr[cand_groups]
+        lens = self.grp_ptr[cand_groups + 1] - starts
+        total = int(lens.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        idx = np.repeat(starts, lens) + offs
+        srcs = self._pull_src[idx]
+        scanned_per_rank = np.bincount(
+            self.grp_rank[cand_groups],
+            weights=lens,
+            minlength=self.num_ranks,
+        ).astype(np.int64)
+        keep = active_src[srcs]
+        if not np.any(keep):
+            return PullSelection(empty, empty, empty, scanned_per_rank)
+        dst_of_arc = np.repeat(self.grp_dst[cand_groups], lens)
+        rank_of_arc = np.repeat(self.grp_rank[cand_groups], lens)
+        return PullSelection(
+            srcs[keep], dst_of_arc[keep], rank_of_arc[keep], scanned_per_rank
+        )
 
     def pull_scan_lanes(
         self, candidate_bits: np.ndarray, active_bits: np.ndarray, group_lanes

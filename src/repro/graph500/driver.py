@@ -492,9 +492,8 @@ def run_graph500_sssp(
     validation on every root.
     """
     from repro.analysis.experiments import tuned_thresholds
-    from repro.core.algorithms import generate_weights
-    from repro.core.algorithms import sssp as bellman_ford
-    from repro.core.delta_stepping import delta_stepping_sssp
+    from repro.core import delta_stepping_sssp, generate_weights
+    from repro.core import sssp as bellman_ford
     from repro.graph500.validate_sssp import validate_sssp_result
 
     if algorithm not in ("delta-stepping", "bellman-ford"):

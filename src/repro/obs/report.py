@@ -45,7 +45,10 @@ __all__ = [
     "report_from_bfs",
     "report_from_graph500",
     "report_from_serve",
+    "report_from_program",
     "bfs_smoke_report",
+    "PROGRAMS_SMOKE_CONFIG",
+    "programs_smoke_report",
     "compare_reports",
     "render_compare",
     "parse_threshold",
@@ -394,6 +397,47 @@ def report_from_serve(
     )
 
 
+def report_from_program(
+    result,
+    *,
+    name: str | None = None,
+    context: dict | None = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from one vertex-program run.
+
+    ``result`` is a :class:`~repro.core.programs.base.ProgramRunResult`;
+    the tracked metrics carry the ledger totals, the iteration count,
+    the traversal rate over the input edges, and every numeric scalar
+    the program reported through
+    :meth:`~repro.core.programs.base.VertexProgram.info` (relaxations,
+    bucket counts, component counts, residuals, ...).
+    """
+    ledger = result.ledger
+    ctx = _context(name or f"program.{result.program}", None, context)
+    ctx.setdefault("program", result.program)
+    metrics = {
+        "gteps": float(result.gteps()),
+        "total_seconds": float(result.total_seconds),
+        "comm_seconds": float(ledger.comm_seconds),
+        "compute_seconds": float(ledger.compute_seconds),
+        "imbalance_seconds": float(ledger.imbalance_seconds),
+        "total_bytes": float(result.total_bytes),
+        "iterations": float(result.num_iterations),
+        "converged": float(result.converged),
+    }
+    for key, value in sorted(result.info.items()):
+        if isinstance(value, (int, float, bool)):
+            metrics[f"info.{key}"] = float(value)
+    return RunReport(
+        name=ctx["engine"],
+        fingerprint=config_fingerprint(ctx),
+        context=ctx,
+        metrics=metrics,
+        breakdowns=_breakdowns_from(ledger),
+        directions=_direction_matrix(result.iterations),
+    )
+
+
 #: The pinned smoke configuration the bench suite, the CI gate, and the
 #: committed ``benchmarks/results/BENCH_bfs_smoke.json`` baseline share.
 SMOKE_CONFIG = dict(
@@ -421,6 +465,92 @@ def bfs_smoke_report(*, metrics=None, tracer=None, **overrides) -> RunReport:
         tracer=tracer, metrics=metrics,
     )
     return report_from_graph500(g500, name="bfs_smoke", context=cfg)
+
+
+#: The pinned configuration of the ``programs-smoke`` CI step and the
+#: committed ``benchmarks/results/BENCH_programs_smoke.json`` baseline:
+#: every registered vertex program on one seeded SCALE-12 graph.
+PROGRAMS_SMOKE_CONFIG = dict(
+    scale=12, rows=2, cols=2, seed=7,
+    e_threshold=128, h_threshold=16, weight_seed=8,
+)
+
+
+def programs_smoke_report(*, metrics=None, tracer=None, **overrides) -> RunReport:
+    """Run every registered program on the pinned SCALE-12 graph.
+
+    One partition, one engine configuration; each program runs through
+    :meth:`~repro.core.engine.DistributedBFS.run_program` (BFS through
+    the native ``run``) and contributes ``program.<name>.*`` tracked
+    metrics — simulated seconds/bytes, iteration counts, and each
+    program's own convergence scalars (relaxations, buckets, component
+    and triangle counts, PageRank residual).  All quantities are
+    deterministic for the pinned config, so the
+    ``compare_reports`` gate pins behaviour exactly like the BFS smoke.
+    """
+    import numpy as np
+
+    from repro.core import DistributedBFS, build_program, partition_graph
+    from repro.core.programs import PROGRAM_REGISTRY, generate_weights
+    from repro.graph500.rmat import generate_edges
+    from repro.machine.network import MachineSpec
+    from repro.runtime.mesh import ProcessMesh
+
+    cfg = dict(PROGRAMS_SMOKE_CONFIG)
+    cfg.update(overrides)
+    src, dst = generate_edges(cfg["scale"], seed=cfg["seed"])
+    n = 1 << cfg["scale"]
+    rows, cols = cfg["rows"], cfg["cols"]
+    machine = MachineSpec(
+        num_nodes=rows * cols, nodes_per_supernode=cols
+    ).scaled_for(src.size / (rows * cols))
+    mesh = ProcessMesh(rows, cols, machine=machine)
+    part = partition_graph(
+        src, dst, n, mesh,
+        e_threshold=cfg["e_threshold"], h_threshold=cfg["h_threshold"],
+    )
+    hub = int(np.argmax(part.degrees))
+    weights = generate_weights(src.size, seed=cfg["weight_seed"])
+    params: dict[str, dict] = {
+        "sssp": dict(root=hub, weights=weights, edge_src=src, edge_dst=dst),
+        "sssp-delta": dict(root=hub, weights=weights, edge_src=src,
+                           edge_dst=dst),
+        "pagerank": dict(),
+        "cc": dict(),
+        "triangles": dict(),
+    }
+    report_metrics: dict = {}
+    directions: list = []
+    for name, spec in sorted(PROGRAM_REGISTRY.items()):
+        engine = DistributedBFS(
+            part, machine=machine, tracer=tracer, metrics=metrics
+        )
+        if spec.native_bfs:
+            res = engine.run(hub)
+            report_metrics["program.bfs.gteps"] = float(res.simulated_gteps())
+            info = {}
+        else:
+            res = engine.run_program(build_program(name, part, **params[name]))
+            info = {
+                k: v for k, v in res.info.items()
+                if isinstance(v, (int, float, bool))
+            }
+        prefix = f"program.{name}"
+        report_metrics[f"{prefix}.iterations"] = float(res.num_iterations)
+        report_metrics[f"{prefix}.total_seconds"] = float(res.total_seconds)
+        report_metrics[f"{prefix}.total_bytes"] = float(res.ledger.total_bytes)
+        for key, value in sorted(info.items()):
+            report_metrics[f"{prefix}.{key}"] = float(value)
+        if not directions:
+            directions = _direction_matrix(res.iterations)
+    return RunReport(
+        name="programs_smoke",
+        fingerprint=config_fingerprint({"engine": "programs_smoke", **cfg}),
+        context={"engine": "programs_smoke", **cfg},
+        metrics=report_metrics,
+        directions=directions,
+        summaries=_registry_summaries(metrics),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -6,9 +6,11 @@ format, and the recovery policies.
 
 from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA,
+    PROGRAM_CHECKPOINT_SCHEMA,
     Checkpoint,
     CheckpointError,
     LevelCheckpointer,
+    ProgramCheckpoint,
 )
 from repro.resilience.faults import (
     NULL_FAULTS,
@@ -26,6 +28,7 @@ from repro.resilience.recovery import (
     RecoveryError,
     RecoveryPolicy,
     ResilientRunResult,
+    run_program_with_recovery,
     run_with_recovery,
     validate_partial,
 )
@@ -41,13 +44,16 @@ __all__ = [
     "LevelCheckpointer",
     "NULL_FAULTS",
     "NullFaultInjector",
+    "PROGRAM_CHECKPOINT_SCHEMA",
     "PartialCoverage",
+    "ProgramCheckpoint",
     "RankCrashError",
     "RecoveryError",
     "RecoveryPolicy",
     "ResilientRunResult",
     "RetryBackoff",
     "parse_fault_spec",
+    "run_program_with_recovery",
     "run_with_recovery",
     "validate_partial",
 ]

@@ -24,6 +24,14 @@ Snapshots live in memory by default (``keep`` most recent); pass
 ``dir=`` to also persist each one as a compressed ``.npz`` with an
 embedded JSON meta record (schema tag, fingerprint, iteration records)
 that :meth:`Checkpoint.load` round-trips exactly.
+
+Vertex programs (:mod:`repro.core.programs`) checkpoint through the
+same machinery: :class:`ProgramCheckpoint` snapshots whatever
+``program.snapshot()`` returns — the program declares its own state
+arrays, so SSSP distances, PageRank ranks or delta-stepping bucket
+control all persist without per-algorithm code here — and
+:meth:`LevelCheckpointer.save_program` charges the identical
+``checkpoint``-phase ALLGATHER sized at the snapshot's actual bytes.
 """
 
 from __future__ import annotations
@@ -40,10 +48,21 @@ from repro.core.metrics import IterationRecord
 from repro.machine.costmodel import CollectiveKind
 from repro.obs.metrics import NULL_METRICS
 
-__all__ = ["Checkpoint", "CheckpointError", "LevelCheckpointer", "CHECKPOINT_SCHEMA"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "LevelCheckpointer",
+    "ProgramCheckpoint",
+    "CHECKPOINT_SCHEMA",
+    "PROGRAM_CHECKPOINT_SCHEMA",
+]
 
 #: Bump on incompatible snapshot layout changes.
 CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+#: Vertex-program snapshots carry a program-declared state dict instead
+#: of the fixed parent/visited triple; separate schema tag.
+PROGRAM_CHECKPOINT_SCHEMA = "repro.program-checkpoint/1"
 
 
 class CheckpointError(RuntimeError):
@@ -157,6 +176,127 @@ class Checkpoint:
         return snap.verify()
 
 
+def _program_fingerprint(
+    program: str, iteration: int, state: dict, active
+) -> str:
+    h = hashlib.sha256()
+    h.update(f"{PROGRAM_CHECKPOINT_SCHEMA}:{program}:{iteration}".encode())
+    for key in sorted(state):
+        arr = np.ascontiguousarray(state[key])
+        h.update(f"{key}:{arr.dtype.str}:{arr.shape}".encode())
+        h.update(arr.tobytes())
+    h.update(np.packbits(active).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ProgramCheckpoint:
+    """One immutable snapshot of vertex-program state at an iteration
+    boundary.
+
+    The ``state`` dict is whatever the program's
+    :meth:`~repro.core.programs.base.VertexProgram.snapshot` returned —
+    per-vertex arrays plus any 0-d/1-d control scalars — so the same
+    class checkpoints every registered program.
+    """
+
+    program: str
+    #: Last completed iteration index (state is *after* this iteration).
+    iteration: int
+    active: np.ndarray
+    state: dict[str, np.ndarray]
+    records: tuple[IterationRecord, ...] = ()
+    fingerprint: str = ""
+
+    @classmethod
+    def capture(cls, *, program, iteration, active, records=()):
+        """Deep-copy a live program's state into an immutable snapshot."""
+        state = {
+            k: np.array(v, copy=True) for k, v in program.snapshot().items()
+        }
+        active = np.array(active, dtype=bool, copy=True)
+        return cls(
+            program=program.name,
+            iteration=int(iteration),
+            active=active,
+            state=state,
+            records=tuple(records),
+            fingerprint=_program_fingerprint(
+                program.name, iteration, state, active
+            ),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Persisted volume: every state array plus the packed frontier."""
+        state_bytes = sum(int(arr.nbytes) for arr in self.state.values())
+        return state_bytes + (self.active.size + 7) // 8
+
+    def verify(self) -> "ProgramCheckpoint":
+        """Recompute the sha256 fingerprint; raise on mismatch."""
+        actual = _program_fingerprint(
+            self.program, self.iteration, self.state, self.active
+        )
+        if actual != self.fingerprint:
+            raise CheckpointError(
+                f"program checkpoint fingerprint mismatch at iteration "
+                f"{self.iteration}: expected {self.fingerprint[:12]}…, "
+                f"got {actual[:12]}…"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # disk round-trip
+    # ------------------------------------------------------------------
+
+    def save_npz(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "schema": PROGRAM_CHECKPOINT_SCHEMA,
+            "program": self.program,
+            "iteration": self.iteration,
+            "fingerprint": self.fingerprint,
+            "state_keys": sorted(self.state),
+            "records": [dataclasses.asdict(r) for r in self.records],
+        }
+        arrays = {f"state_{k}": v for k, v in self.state.items()}
+        np.savez_compressed(
+            path,
+            meta=np.array([json.dumps(meta)]),
+            active=np.packbits(self.active),
+            n=np.array([self.active.size], dtype=np.int64),
+            **arrays,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProgramCheckpoint":
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"][0]))
+                if meta.get("schema") != PROGRAM_CHECKPOINT_SCHEMA:
+                    raise CheckpointError(
+                        f"unsupported checkpoint schema {meta.get('schema')!r}"
+                    )
+                n = int(data["n"][0])
+                snap = cls(
+                    program=str(meta["program"]),
+                    iteration=int(meta["iteration"]),
+                    active=np.unpackbits(data["active"], count=n).astype(bool),
+                    state={
+                        k: data[f"state_{k}"] for k in meta["state_keys"]
+                    },
+                    records=tuple(
+                        IterationRecord(**r) for r in meta["records"]
+                    ),
+                    fingerprint=meta["fingerprint"],
+                )
+        except (OSError, KeyError, ValueError) as exc:
+            raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc
+        return snap.verify()
+
+
 @dataclass
 class LevelCheckpointer:
     """Cadence-driven snapshot store attached to one scheduler run.
@@ -184,7 +324,7 @@ class LevelCheckpointer:
     def due(self, iteration: int) -> bool:
         return self.every > 0 and (iteration + 1) % self.every == 0
 
-    def _charge(self, ledger, snap: Checkpoint, phase: str, counter: str) -> None:
+    def _charge(self, ledger, snap, phase: str, counter: str) -> None:
         if self.mesh is not None:
             participants = self.mesh.num_ranks
             ranks = np.arange(participants)
@@ -224,13 +364,39 @@ class LevelCheckpointer:
         self._charge(ledger, snap, "checkpoint", "checkpoints")
         return snap
 
-    def _path(self, snap: Checkpoint) -> Path:
-        return Path(self.dir) / f"ckpt_root{snap.root}_it{snap.iteration}.npz"
+    def save_program(self, *, ledger, program, iteration, active,
+                     records=()) -> ProgramCheckpoint:
+        """Snapshot a vertex program after ``iteration`` and charge the
+        write cost.  Same cadence, eviction, persistence and pricing as
+        :meth:`save` — the snapshot volume is just whatever state the
+        program declared instead of the fixed BFS triple."""
+        snap = ProgramCheckpoint.capture(
+            program=program,
+            iteration=iteration,
+            active=active,
+            records=records,
+        )
+        self.snapshots.append(snap)
+        if self.dir is not None:
+            snap.save_npz(self._path(snap))
+        while len(self.snapshots) > self.keep:
+            evicted = self.snapshots.pop(0)
+            if self.dir is not None:
+                self._path(evicted).unlink(missing_ok=True)
+        self._charge(ledger, snap, "checkpoint", "checkpoints")
+        return snap
 
-    def latest(self) -> Checkpoint | None:
+    def _path(self, snap) -> Path:
+        if isinstance(snap, ProgramCheckpoint):
+            tag = f"prog_{snap.program}"
+        else:
+            tag = f"root{snap.root}"
+        return Path(self.dir) / f"ckpt_{tag}_it{snap.iteration}.npz"
+
+    def latest(self) -> Checkpoint | ProgramCheckpoint | None:
         return self.snapshots[-1] if self.snapshots else None
 
-    def charge_restore(self, ledger, snap: Checkpoint) -> None:
+    def charge_restore(self, ledger, snap) -> None:
         """Price re-reading and broadcasting a snapshot during recovery."""
         self._charge(ledger, snap, "recovery", "restores")
 

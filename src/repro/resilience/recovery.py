@@ -50,6 +50,7 @@ __all__ = [
     "ResilientRunResult",
     "PartialCoverage",
     "run_with_recovery",
+    "run_program_with_recovery",
     "validate_partial",
 ]
 
@@ -227,6 +228,80 @@ def run_with_recovery(
         resumed_from=resumed_from,
         wasted_seconds=wasted_seconds,
         excised=excised,
+    )
+
+
+def run_program_with_recovery(
+    engine,
+    program,
+    *,
+    faults=NULL_FAULTS,
+    checkpointer: LevelCheckpointer | None = None,
+    policy: RecoveryPolicy = RecoveryPolicy(),
+    metrics=NULL_METRICS,
+):
+    """Run one vertex program, surviving injected rank crashes.
+
+    The restart loop mirrors :func:`run_with_recovery`: each attempt
+    re-enters :meth:`~repro.core.engine.DistributedBFS.run_program`
+    (whose ``bind`` re-initializes program state before a
+    :class:`~repro.resilience.checkpoint.ProgramCheckpoint` resume
+    restores it), aborted attempts' ledgers are merged into the final
+    result so ``total_seconds`` includes the lost work, and the restore
+    broadcast is charged to the recovered attempt.  ``degrade`` mode is
+    BFS-specific (it excises a dead rank's L-vertices from a *visited*
+    set, which value programs do not have) and is rejected here.
+    """
+    if policy.mode != "restart":
+        raise RecoveryError(
+            "vertex programs only support restart recovery "
+            f"(got mode={policy.mode!r})"
+        )
+    crashes = 0
+    wasted: list = []
+    wasted_seconds = 0.0
+    resumed_from: list[int] = []
+    resume = None
+
+    while True:
+        try:
+            result = engine.run_program(
+                program, faults=faults, checkpointer=checkpointer,
+                resume=resume,
+            )
+            break
+        except RankCrashError as crash:
+            crashes += 1
+            metrics.counter("rank_crashes").inc()
+            if crash.ledger is not None:
+                wasted.append(crash.ledger)
+                wasted_seconds += crash.ledger.total_seconds
+            if crashes > policy.max_restarts:
+                raise RecoveryError(
+                    f"rank {crash.rank} crashed at iteration "
+                    f"{crash.iteration}; restart budget "
+                    f"({policy.max_restarts}) exhausted"
+                ) from crash
+            snap = checkpointer.latest() if checkpointer is not None else None
+            if snap is not None:
+                snap.verify()
+            resume = snap
+            resumed_from.append(resume.iteration if resume is not None else -1)
+            metrics.counter("recoveries", mode=policy.mode).inc()
+
+    recovery_seconds = 0.0
+    for ledger in wasted:
+        recovery_seconds += ledger.total_seconds
+        result.ledger.merge(ledger)
+    if wasted:
+        metrics.counter("recovery_time").inc(recovery_seconds)
+
+    return ResilientRunResult(
+        result=result,
+        crashes=crashes,
+        restarts=len(resumed_from),
+        resumed_from=resumed_from,
+        wasted_seconds=wasted_seconds,
     )
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -78,7 +78,7 @@ class TraversalResponse:
     """One served query."""
 
     root: int
-    parent: np.ndarray = field(repr=False)
+    parent: np.ndarray | None = field(repr=False, default=None)
     cached: bool = False
     #: Lanes in the batch that served it (0 for cache hits).
     batch_lanes: int = 0
@@ -89,6 +89,13 @@ class TraversalResponse:
     total_seconds: float = 0.0
     #: Amortized *simulated* machine cost of the query (0 for cache hits).
     sim_seconds: float = 0.0
+    #: Which registered program served the query ("bfs" for traversals).
+    program: str = "bfs"
+    #: Non-BFS programs: the program's state arrays and info scalars.
+    state: dict | None = field(repr=False, default=None)
+    info: dict | None = None
+    iterations: int = 0
+    converged: bool = True
 
 
 @dataclass
@@ -104,6 +111,8 @@ class ServeStats:
     replays: int = 0
     batches: int = 0
     batched_lanes: int = 0
+    #: Non-BFS vertex-program queries served (subset of ``completed``).
+    program_runs: int = 0
     sim_seconds_total: float = 0.0
     total_latencies: list = field(default_factory=list, repr=False)
 
@@ -189,6 +198,14 @@ class TraversalService:
         self._flusher: asyncio.Task | None = None
         self._closed = True
         self.stats = ServeStats()
+        # Non-BFS program serving: single executions bypass the MSBFS
+        # batcher but share the admission bound (queue + in-flight) and
+        # get their own result cache (program outputs are state dicts,
+        # not parent arrays).
+        self._inflight_programs = 0
+        self._program_engine = None
+        self._program_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._program_cache_capacity = 256
 
     @property
     def graph_fingerprint(self) -> str:
@@ -196,7 +213,7 @@ class TraversalService:
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + self._inflight_programs
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -232,13 +249,24 @@ class TraversalService:
         self._fingerprint = fingerprint_graph(engine.part)
         if self._cache is not None:
             self._cache.invalidate(old)
+        self._program_engine = None
+        self._program_cache.clear()
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
 
-    async def submit(self, root: int) -> TraversalResponse:
-        """Serve one traversal query.
+    async def submit(
+        self, root: int | None = None, *, program: str = "bfs", **params
+    ) -> TraversalResponse:
+        """Serve one query.
+
+        ``program="bfs"`` (the default) is the batched traversal path
+        and requires ``root``.  Any other registered program name runs
+        as a single execution on the executor — see
+        :meth:`_submit_program` — with ``params`` forwarded to
+        :func:`~repro.core.programs.build_program` (SSSP programs are
+        served with unit weights; the service holds no weight table).
 
         Raises :class:`Overloaded` when the queue is full (admission
         control) and :class:`TraversalError` when the query's batch
@@ -246,6 +274,14 @@ class TraversalService:
         """
         if self._closed:
             raise RuntimeError("service is not running")
+        if program != "bfs":
+            return await self._submit_program(program, root, params)
+        if params:
+            raise ValueError(
+                f"bfs queries take no parameters (got {sorted(params)})"
+            )
+        if root is None:
+            raise ValueError("bfs queries require a root")
         root = int(root)
         if not 0 <= root < self.engine.num_vertices:
             raise ValueError(f"root {root} out of range")
@@ -273,6 +309,170 @@ class TraversalService:
         self._metrics.gauge("serve_queue_depth").set(len(self._queue))
         self._wake.set()
         return await future
+
+    # ------------------------------------------------------------------
+    # vertex-program serving (single execution, no batching)
+    # ------------------------------------------------------------------
+
+    def _resolve_program_engine(self):
+        """The sequential 1.5D engine non-BFS programs run on, built
+        lazily over the served graph (the MSBFS engine only knows the
+        batched wave path)."""
+        if self._program_engine is None:
+            from repro.core.engine import DistributedBFS
+
+            src = self.engine
+            self._program_engine = DistributedBFS(
+                src.part,
+                machine=getattr(src, "machine", None),
+                metrics=getattr(src, "metrics", None),
+            )
+        return self._program_engine
+
+    async def _submit_program(
+        self, program: str, root: int | None, params: dict
+    ) -> TraversalResponse:
+        """Serve one non-BFS program query.
+
+        Single execution on the executor (multi-source lane batching is
+        visited-bit machinery; value programs run whole-graph sweeps),
+        bounded by the same ``queue_depth`` admission control as BFS
+        queries — queued batch requests and in-flight program runs share
+        the budget.  Default-parameter queries are answered from a
+        bounded per-``(program, root)`` cache keyed alongside the graph
+        fingerprint; parameterized queries always execute.
+        """
+        from repro.core.programs import PROGRAM_REGISTRY, build_program
+
+        spec = PROGRAM_REGISTRY.get(program)
+        if spec is None:
+            names = ", ".join(sorted(PROGRAM_REGISTRY))
+            raise ValueError(
+                f"unknown program {program!r} (available: {names})"
+            )
+        if spec.needs_root:
+            if root is None:
+                raise ValueError(f"program {program!r} requires a root")
+            root = int(root)
+            if not 0 <= root < self.engine.num_vertices:
+                raise ValueError(f"root {root} out of range")
+        elif root is not None:
+            raise ValueError(f"program {program!r} does not take a root")
+
+        t0 = self._clock()
+        self.stats.requests += 1
+        cacheable = not params
+        key = (self._fingerprint, program, -1 if root is None else root)
+        if cacheable:
+            hit = self._program_cache.get(key)
+            if hit is not None:
+                self._program_cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                total = self._clock() - t0
+                self.stats.total_latencies.append(total)
+                self._metrics.counter("serve_requests", outcome="cached").inc()
+                self._metrics.counter(
+                    "serve_programs", program=program, outcome="cached"
+                ).inc()
+                self._observe("total", total)
+                return TraversalResponse(
+                    root=-1 if root is None else root,
+                    parent=hit["state"].get("parent"),
+                    cached=True,
+                    total_seconds=total,
+                    program=program,
+                    state=hit["state"],
+                    info=hit["info"],
+                    iterations=hit["iterations"],
+                    converged=hit["converged"],
+                )
+        if self.pending >= self.queue_depth:
+            self.stats.shed += 1
+            self._metrics.counter("serve_requests", outcome="shed").inc()
+            self._metrics.counter(
+                "serve_programs", program=program, outcome="shed"
+            ).inc()
+            raise Overloaded(self.pending, self.queue_depth)
+
+        engine = self._resolve_program_engine()
+        run_params = dict(params)
+        if spec.needs_root:
+            run_params["root"] = root
+        loop = asyncio.get_running_loop()
+        self._inflight_programs += 1
+        self.stats.admitted += 1
+        attempts = 0
+        try:
+            while True:
+                prog = build_program(program, engine.part, **run_params)
+                t_exec = self._clock()
+                try:
+                    result = await loop.run_in_executor(
+                        None,
+                        functools.partial(
+                            engine.run_program, prog, faults=self._faults
+                        ),
+                    )
+                    break
+                except RankCrashError:
+                    attempts += 1
+                    self._metrics.counter(
+                        "serve_programs", program=program, outcome="crashed"
+                    ).inc()
+                    if attempts > self.max_replays:
+                        self.stats.failed += 1
+                        self._metrics.counter(
+                            "serve_requests", outcome="failed"
+                        ).inc()
+                        self._metrics.counter(
+                            "serve_programs", program=program, outcome="failed"
+                        ).inc()
+                        raise TraversalError(
+                            f"program {program!r} query failed after "
+                            f"{self.max_replays} replays (injected rank "
+                            "crash)"
+                        ) from None
+                    self.stats.replays += 1
+                    self._metrics.counter("serve_batch_replays").inc()
+        finally:
+            self._inflight_programs -= 1
+
+        t_done = self._clock()
+        traversal = t_done - t_exec
+        total = t_done - t0
+        payload = {
+            "state": result.state,
+            "info": result.info,
+            "iterations": result.num_iterations,
+            "converged": result.converged,
+        }
+        if cacheable:
+            self._program_cache[key] = payload
+            self._program_cache.move_to_end(key)
+            while len(self._program_cache) > self._program_cache_capacity:
+                self._program_cache.popitem(last=False)
+        self.stats.completed += 1
+        self.stats.program_runs += 1
+        self.stats.sim_seconds_total += result.total_seconds
+        self.stats.total_latencies.append(total)
+        self._metrics.counter("serve_requests", outcome="completed").inc()
+        self._metrics.counter(
+            "serve_programs", program=program, outcome="completed"
+        ).inc()
+        self._observe("traversal", traversal)
+        self._observe("total", total)
+        return TraversalResponse(
+            root=-1 if root is None else root,
+            parent=result.state.get("parent"),
+            traversal_seconds=traversal,
+            total_seconds=total,
+            sim_seconds=result.total_seconds,
+            program=program,
+            state=result.state,
+            info=result.info,
+            iterations=result.num_iterations,
+            converged=result.converged,
+        )
 
     # ------------------------------------------------------------------
     # batching core

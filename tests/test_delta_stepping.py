@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.algorithms import generate_weights, sssp
-from repro.core.delta_stepping import delta_stepping_sssp, suggest_delta
+from repro.core import delta_stepping_sssp, generate_weights, sssp, suggest_delta
 from repro.core.partition import partition_graph
 from repro.graph500.rmat import generate_edges
 from repro.runtime.mesh import ProcessMesh

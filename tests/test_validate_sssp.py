@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.algorithms import generate_weights
-from repro.core.delta_stepping import delta_stepping_sssp
+from repro.core import delta_stepping_sssp, generate_weights
 from repro.core.partition import partition_graph
 from repro.graph500.rmat import generate_edges
 from repro.graph500.validate import ValidationError
@@ -31,7 +30,7 @@ class TestAcceptsValid:
         validate_sssp_result(n, src, dst, w, root, res.distance, res.parent)
 
     def test_bellman_ford_output_validates(self, solved):
-        from repro.core.algorithms import sssp
+        from repro.core import sssp
 
         n, src, dst, w, root, _ = solved
         mesh = ProcessMesh(2, 2)
