@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.config import BFSConfig
 from repro.core.direction import choose_whole_iteration_direction
-from repro.core.kernels.base import ComponentKernel
+from repro.core.kernels.base import ComponentKernel, KernelBodySpec
 from repro.core.kernels.scheduler import LevelSyncScheduler, SchedulerHost
 from repro.core.metrics import BFSRunResult, IterationRecord
 from repro.core.subgraphs import SubgraphComponent
@@ -57,24 +57,30 @@ class BaselineComponentKernel(ComponentKernel):
     def num_arcs(self) -> int:
         return self.comp.num_arcs
 
-    def execute(self, direction, active, visited, ledger, record):
+    def body_spec(self):
+        return KernelBodySpec(component=self.comp, pull_kind="scan")
+
+    def pull_body(self, active, visited):
+        return self.comp.pull_scan(~visited, active)
+
+    def commit_push(self, sel, active, visited, ledger, record):
         eng, name = self.engine, self.name
-        if direction == "push":
-            sel = self.comp.push_select(active)
-            per_rank = sel.per_rank(eng._p)
-            record.scanned_arcs[name] = sel.num_arcs
-            seconds = eng.rates.kernel_time(
-                int(per_rank.max()), eng.push_rate(name), eng._ws
-            )
-            ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
-            if sel.num_arcs:
-                eng.charge_push_messages(name, sel, ledger)
-            fresh = ~visited[sel.dst]
-            src_f, dst_f = sel.src[fresh], sel.dst[fresh]
-            newly, first = np.unique(dst_f, return_index=True)
-            return newly, src_f[first]
+        per_rank = sel.per_rank(eng._p)
+        record.scanned_arcs[name] = sel.num_arcs
+        seconds = eng.rates.kernel_time(
+            int(per_rank.max()), eng.push_rate(name), eng._ws
+        )
+        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+        if sel.num_arcs:
+            eng.charge_push_messages(name, sel, ledger)
+        fresh = ~visited[sel.dst]
+        src_f, dst_f = sel.src[fresh], sel.dst[fresh]
+        newly, first = np.unique(dst_f, return_index=True)
+        return newly, src_f[first]
+
+    def commit_pull(self, scan, active, visited, ledger, record):
+        eng, name = self.engine, self.name
         eng.charge_pull_prereq(name, ledger, active, visited)
-        scan = self.comp.pull_scan(~visited, active)
         record.scanned_arcs[name] = scan.scanned_arcs
         seconds = eng.rates.kernel_time(
             int(scan.scanned_per_rank.max()), eng.pull_rate(name), eng._ws
@@ -83,6 +89,13 @@ class BaselineComponentKernel(ComponentKernel):
             name, f"pull:{name}", scan.scanned_per_rank, seconds
         )
         return scan.hit_dst, scan.hit_src
+
+    def execute(self, direction, active, visited, ledger, record):
+        if direction == "push":
+            sel = self.comp.push_select(active)
+            return self.commit_push(sel, active, visited, ledger, record)
+        scan = self.pull_body(active, visited)
+        return self.commit_pull(scan, active, visited, ledger, record)
 
 
 class BaselineEngine(SchedulerHost):
@@ -101,6 +114,7 @@ class BaselineEngine(SchedulerHost):
         config: BFSConfig | None = None,
         tracer: Tracer | None = None,
         metrics=None,
+        backend=None,
     ) -> None:
         self.mesh = mesh
         self.num_vertices = int(num_vertices)
@@ -125,7 +139,7 @@ class BaselineEngine(SchedulerHost):
             for name, comp in self.components.items()
         }
         self.scheduler = LevelSyncScheduler(
-            self, self.kernels, tracer=tracer, metrics=metrics
+            self, self.kernels, tracer=tracer, metrics=metrics, backend=backend
         )
 
     # ------------------------------------------------------------------

@@ -89,6 +89,19 @@ def _damping_arg(value: str) -> float:
     return out
 
 
+def _workers_arg(value: str) -> int:
+    """Parse a positive worker count for ``--workers``."""
+    try:
+        out = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from exc
+    if out < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {value!r}")
+    return out
+
+
 def _faults_arg(value: str):
     """Parse and validate a ``--faults`` spec at argument time, so a
     malformed spec exits 2 with usage instead of a mid-run traceback."""
@@ -132,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_help = "write a Chrome trace_event JSON of the run to PATH"
 
+    from repro.runtime.backends import BACKEND_NAMES
+
+    backend_p = argparse.ArgumentParser(add_help=False)
+    backend_p.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="simulated",
+        help="where kernel bodies execute: the in-process simulated "
+             "ledger loop, or real shared-memory parallel workers "
+             "(bit-identical results)",
+    )
+    backend_p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N",
+        help="body worker processes for --backend shmem (>= 1)",
+    )
+
     resil = argparse.ArgumentParser(add_help=False)
     resil.add_argument(
         "--faults", type=_faults_arg, default=None, metavar="SPEC",
@@ -147,7 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     g5 = sub.add_parser(
-        "graph500", parents=[common, resil], help="official benchmark flow"
+        "graph500", parents=[common, resil, backend_p],
+        help="official benchmark flow",
     )
     g5.add_argument("--roots", type=int, default=8, help="BFS roots (64 = conforming)")
     g5.add_argument("--no-validate", action="store_true")
@@ -158,7 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
              "per traversal; parents bit-identical, times amortized)",
     )
 
-    bfs = sub.add_parser("bfs", parents=[common, resil], help="one traced BFS run")
+    bfs = sub.add_parser(
+        "bfs", parents=[common, resil, backend_p], help="one traced BFS run"
+    )
     bfs.add_argument("--root", type=int, default=None, help="default: max-degree hub")
     bfs.add_argument(
         "--timeline",
@@ -229,7 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", parents=[common],
+        "serve", parents=[common, backend_p],
         help="serve a seeded query workload through the batched "
              "traversal service",
     )
@@ -261,7 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the serve.* RunReport JSON artifact")
 
     bserve = sub.add_parser(
-        "bench-serve", parents=[common],
+        "bench-serve", parents=[common, backend_p],
         help="batched-serving benchmark: amortization + throughput sweep",
     )
     bserve.add_argument("--queries", type=int, default=256)
@@ -294,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     sssp_p.add_argument("--delta", type=_positive_float_arg, default=None)
 
     algo = sub.add_parser(
-        "algo", parents=[common, resil],
+        "algo", parents=[common, resil, backend_p],
         help="run a registered vertex program (sssp, pagerank, cc, ...)",
     )
     algo.add_argument(
@@ -344,6 +374,16 @@ def _write_trace(tracer, path) -> bool:
 
 
 def _cmd_graph500(args) -> int:
+    from repro.runtime.backends import create_backend
+
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        return _cmd_graph500_impl(args, backend)
+    finally:
+        backend.close()
+
+
+def _cmd_graph500_impl(args, backend) -> int:
     from repro.graph500.driver import run_graph500
     from repro.obs.tracer import Tracer
 
@@ -364,6 +404,7 @@ def _cmd_graph500(args) -> int:
         max_restarts=args.max_restarts,
         recovery_mode=args.recovery_mode,
         batch_roots=args.batch_roots,
+        backend=backend,
     )
     print(report.render())
     print(f"harmonic_mean_GTEPS: {report.mean_gteps:.3f}")
@@ -381,6 +422,16 @@ def _cmd_graph500(args) -> int:
 
 
 def _cmd_bfs(args) -> int:
+    from repro.runtime.backends import create_backend
+
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        return _cmd_bfs_impl(args, backend)
+    finally:
+        backend.close()
+
+
+def _cmd_bfs_impl(args, backend) -> int:
     from repro.analysis.experiments import build_setup, run_15d
     from repro.analysis.reporting import ascii_table, format_seconds
     from repro.obs.tracer import Tracer
@@ -400,6 +451,7 @@ def _cmd_bfs(args) -> int:
         checkpoint_every=args.checkpoint_every,
         max_restarts=args.max_restarts,
         recovery_mode=args.recovery_mode,
+        backend=backend,
     )
     print(f"classes: {part.class_sizes()}")
     print(ascii_table(
@@ -618,6 +670,16 @@ def _cmd_sssp(args) -> int:
 
 
 def _cmd_algo(args) -> int:
+    from repro.runtime.backends import create_backend
+
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        return _cmd_algo_impl(args, backend)
+    finally:
+        backend.close()
+
+
+def _cmd_algo_impl(args, backend) -> int:
     from repro.core.programs import PROGRAM_REGISTRY, available_programs
 
     if args.list:
@@ -686,7 +748,8 @@ def _cmd_algo(args) -> int:
         e_threshold=e_thr, h_threshold=h_thr,
     )
     engine = DistributedBFS(
-        part, machine=setup.machine, tracer=tracer, metrics=registry
+        part, machine=setup.machine, tracer=tracer, metrics=registry,
+        backend=backend,
     )
 
     if spec.native_bfs:
@@ -696,7 +759,8 @@ def _cmd_algo(args) -> int:
               f"simulated {format_seconds(res.total_seconds)} "
               f"({res.simulated_gteps():.1f} GTEPS)")
         report = report_from_bfs(
-            res, name="program.bfs", context={**context, "root": root}
+            res, name="program.bfs", context={**context, "root": root},
+            tracer=tracer, backend=backend,
         )
     else:
         params: dict = {}
@@ -853,6 +917,16 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.runtime.backends import create_backend
+
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        return _cmd_serve_impl(args, backend)
+    finally:
+        backend.close()
+
+
+def _cmd_serve_impl(args, backend) -> int:
     from repro.analysis.reporting import ascii_table, format_seconds
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.report import report_from_serve
@@ -863,6 +937,7 @@ def _cmd_serve(args) -> int:
     sequential, batched = build_serving_pair(
         args.scale, rows, cols, seed=args.seed,
         e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+        backend=backend,
     )
     roots = make_workload_roots(
         batched.part.degrees, args.queries, seed=args.seed,
@@ -936,6 +1011,16 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_bench_serve(args) -> int:
+    from repro.runtime.backends import create_backend
+
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        return _cmd_bench_serve_impl(args, backend)
+    finally:
+        backend.close()
+
+
+def _cmd_bench_serve_impl(args, backend) -> int:
     from repro.analysis.reporting import ascii_table
     from repro.graph500.driver import sample_roots
     from repro.serve.bench import (
@@ -948,6 +1033,7 @@ def _cmd_bench_serve(args) -> int:
     sequential, batched = build_serving_pair(
         args.scale, rows, cols, seed=args.seed,
         e_threshold=args.e_threshold, h_threshold=args.h_threshold,
+        backend=backend,
     )
     batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
     roots = sample_roots(

@@ -34,7 +34,12 @@ import numpy as np
 from repro.core.balance import vertex_cut_imbalance
 from repro.core.config import BFSConfig
 from repro.core.direction import ClassState
-from repro.core.kernels.base import EMPTY_ACTIVATION, ComponentKernel, KernelRegistry
+from repro.core.kernels.base import (
+    EMPTY_ACTIVATION,
+    ComponentKernel,
+    KernelBodySpec,
+    KernelRegistry,
+)
 from repro.core.lanes import iter_lanes, lane_bit
 from repro.core.partition import PartitionedGraph
 from repro.core.segmenting import plan_segmenting
@@ -363,63 +368,31 @@ class _FifteenDKernel(ComponentKernel):
     def route_program_pull(self, sel, ledger, record, message_bytes) -> None:
         """Charge delivery of pulled program messages (nothing if local)."""
 
-    # -- execution ------------------------------------------------------
+    # -- body/commit split (the execution-backend contract) -------------
+    #
+    # Every path below factors into a pure *body* (an arc selection or
+    # scan over the component's frozen arrays — no ledger access) and a
+    # *commit* that does all charging, routing, and activation dedup on
+    # the body's result.  The in-process ``execute*`` methods chain the
+    # two; a parallel backend computes the body chunked in workers and
+    # calls the same commit on the merged result, so the ledger sees an
+    # identical charge sequence either way.
 
-    def execute(self, direction, active, visited, ledger, record):
-        if direction == "push":
-            return self._execute_push(active, visited, ledger, record)
-        return self._execute_pull(active, visited, ledger, record)
+    def body_spec(self):
+        return KernelBodySpec(component=self.comp, pull_kind="scan")
 
-    def execute_lanes(self, direction, group_lanes, lanes, ledger, record):
-        if direction == "push":
-            return self._execute_push_lanes(group_lanes, lanes, ledger, record)
-        return self._execute_pull_lanes(group_lanes, lanes, ledger, record)
+    def pull_body(self, active, visited):
+        """The pure bottom-up body (L2L overrides with its query model)."""
+        return self.comp.pull_scan(~visited, active)
 
-    def execute_program(self, program, direction, active, ledger, record):
-        if direction == "push":
-            return self._execute_program_push(program, active, ledger, record)
-        return self._execute_program_pull(program, active, ledger, record)
-
-    def _execute_program_push(self, program, active, ledger, record):
-        """Top-down program sub-iteration: the frontier's arcs in the
-        same by-source CSR order (and at the same per-rank compute and
-        alltoallv prices) as a BFS push, with the first-writer commit
-        replaced by the program's gather → combine → apply."""
-        ctx, name = self.ctx, self.name
-        sel = self.comp.push_select(active)
-        per_rank = sel.per_rank(ctx.num_ranks)
-        record.scanned_arcs[name] = sel.num_arcs
-        seconds = self.push_seconds(per_rank, active)
-        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
-        if sel.num_arcs:
-            self.route_program_push(
-                sel, ledger, record, program.message_bytes
-            )
-        return program.edge_sweep(name, sel.src, sel.dst)
-
-    def _execute_program_pull(self, program, active, ledger, record):
-        """Bottom-up program sub-iteration: full-run scans of the
-        program's candidate destinations (no early exit — a value
-        combine must see every active in-neighbour), priced at the same
-        pull rate as BFS."""
-        ctx, name = self.ctx, self.name
-        candidates = program.pull_candidates()
-        self.charge_pull_prereq(ledger, active, ~candidates)
-        sel = self.comp.pull_select(candidates, active)
-        record.scanned_arcs[name] = sel.scanned_arcs
-        seconds = ctx.kernel_time(
-            int(sel.scanned_per_rank.max()), self.pull_rate()
+    def lanes_pull_body(self, group_lanes, lanes):
+        group = np.uint64(group_lanes)
+        return self.comp.pull_scan_lanes(
+            ~lanes.visited & group, lanes.active & group, group
         )
-        ledger.charge_compute(name, f"pull:{name}", sel.scanned_per_rank, seconds)
-        if sel.num_arcs:
-            self.route_program_pull(
-                sel, ledger, record, program.message_bytes
-            )
-        return program.edge_sweep(name, sel.src, sel.dst)
 
-    def _execute_push(self, active, visited, ledger, record):
+    def commit_push(self, sel, active, visited, ledger, record):
         ctx, name = self.ctx, self.name
-        sel = self.comp.push_select(active)
         per_rank = sel.per_rank(ctx.num_ranks)
         record.scanned_arcs[name] = sel.num_arcs
         seconds = self.push_seconds(per_rank, active)
@@ -435,10 +408,9 @@ class _FifteenDKernel(ComponentKernel):
         uniq, first = np.unique(dst_f, return_index=True)
         return uniq, src_f[first]
 
-    def _execute_pull(self, active, visited, ledger, record):
+    def commit_pull(self, scan, active, visited, ledger, record):
         ctx, name = self.ctx, self.name
         self.charge_pull_prereq(ledger, active, visited)
-        scan = self.comp.pull_scan(~visited, active)
         record.scanned_arcs[name] = scan.scanned_arcs
         seconds = ctx.kernel_time(int(scan.scanned_per_rank.max()), self.pull_rate())
         ledger.charge_compute(name, f"pull:{name}", scan.scanned_per_rank, seconds)
@@ -446,8 +418,8 @@ class _FifteenDKernel(ComponentKernel):
             self.route_pull_hits(scan, ledger, record)
         return scan.hit_dst, scan.hit_src
 
-    def _execute_push_lanes(self, group_lanes, lanes, ledger, record):
-        """Top-down sweep shared by the lanes of ``group_lanes``.
+    def commit_push_lanes(self, sel, group_lanes, lanes, ledger, record):
+        """Commit of the lane-shared top-down sweep.
 
         One arc selection covers the union frontier; lane ``l``'s subset
         of the selection (arcs whose source carries bit ``l``) is exactly
@@ -458,7 +430,6 @@ class _FifteenDKernel(ComponentKernel):
         group = np.uint64(group_lanes)
         act_bits = lanes.active & group
         union_active = act_bits != 0
-        sel = self.comp.push_select(union_active)
         per_rank = sel.per_rank(ctx.num_ranks)
         record.scanned_arcs[name] = (
             record.scanned_arcs.get(name, 0) + sel.num_arcs
@@ -482,16 +453,12 @@ class _FifteenDKernel(ComponentKernel):
             updates.append((lane, uniq, sel.src[mask][first]))
         return updates
 
-    def _execute_pull_lanes(self, group_lanes, lanes, ledger, record):
-        """Bottom-up scan shared by the lanes of ``group_lanes`` (the
-        generic grouped-scan path; L2L overrides with its query/reply
-        messaging)."""
+    def commit_pull_lanes(self, scan, group_lanes, lanes, ledger, record):
+        """Commit of the lane-shared bottom-up scan (the generic grouped
+        path; L2L overrides with its query/reply messaging)."""
         ctx, name = self.ctx, self.name
         group = np.uint64(group_lanes)
         self.charge_pull_prereq_lanes(ledger, lanes, group)
-        scan = self.comp.pull_scan_lanes(
-            ~lanes.visited & group, lanes.active & group, group
-        )
         record.scanned_arcs[name] = (
             record.scanned_arcs.get(name, 0) + scan.scanned_arcs
         )
@@ -502,6 +469,67 @@ class _FifteenDKernel(ComponentKernel):
         if scan.num_messages:
             self.route_pull_hits_lanes(scan, ledger, record)
         return scan.updates
+
+    def commit_program_push(self, program, sel, active, ledger, record):
+        """Top-down program sub-iteration: the frontier's arcs in the
+        same by-source CSR order (and at the same per-rank compute and
+        alltoallv prices) as a BFS push, with the first-writer commit
+        replaced by the program's gather → combine → apply."""
+        ctx, name = self.ctx, self.name
+        per_rank = sel.per_rank(ctx.num_ranks)
+        record.scanned_arcs[name] = sel.num_arcs
+        seconds = self.push_seconds(per_rank, active)
+        ledger.charge_compute(name, f"push:{name}", per_rank, seconds)
+        if sel.num_arcs:
+            self.route_program_push(
+                sel, ledger, record, program.message_bytes
+            )
+        return program.edge_sweep(name, sel.src, sel.dst)
+
+    def commit_program_pull(self, program, sel, candidates, active, ledger, record):
+        """Bottom-up program sub-iteration: full-run scans of the
+        program's candidate destinations (no early exit — a value
+        combine must see every active in-neighbour), priced at the same
+        pull rate as BFS."""
+        ctx, name = self.ctx, self.name
+        self.charge_pull_prereq(ledger, active, ~candidates)
+        record.scanned_arcs[name] = sel.scanned_arcs
+        seconds = ctx.kernel_time(
+            int(sel.scanned_per_rank.max()), self.pull_rate()
+        )
+        ledger.charge_compute(name, f"pull:{name}", sel.scanned_per_rank, seconds)
+        if sel.num_arcs:
+            self.route_program_pull(
+                sel, ledger, record, program.message_bytes
+            )
+        return program.edge_sweep(name, sel.src, sel.dst)
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, direction, active, visited, ledger, record):
+        if direction == "push":
+            sel = self.comp.push_select(active)
+            return self.commit_push(sel, active, visited, ledger, record)
+        body = self.pull_body(active, visited)
+        return self.commit_pull(body, active, visited, ledger, record)
+
+    def execute_lanes(self, direction, group_lanes, lanes, ledger, record):
+        group = np.uint64(group_lanes)
+        if direction == "push":
+            sel = self.comp.push_select((lanes.active & group) != 0)
+            return self.commit_push_lanes(sel, group_lanes, lanes, ledger, record)
+        body = self.lanes_pull_body(group_lanes, lanes)
+        return self.commit_pull_lanes(body, group_lanes, lanes, ledger, record)
+
+    def execute_program(self, program, direction, active, ledger, record):
+        if direction == "push":
+            sel = self.comp.push_select(active)
+            return self.commit_program_push(program, sel, active, ledger, record)
+        candidates = program.pull_candidates()
+        sel = self.comp.pull_select(candidates, active)
+        return self.commit_program_pull(
+            program, sel, candidates, active, ledger, record
+        )
 
 
 @FIFTEEND_KERNELS.register("EH2EH")
@@ -746,7 +774,19 @@ class L2LKernel(_FifteenDKernel):
         )
         ctx.charge_receiver_kernel("L2L", sel.rank, ledger, "pull_reply")
 
-    def _execute_pull(self, active, visited, ledger, record):
+    def body_spec(self):
+        return KernelBodySpec(component=self.comp, pull_kind="query")
+
+    def pull_body(self, active, visited):
+        # Scanning unvisited local sources is the destination-side pull
+        # view (see :meth:`commit_pull`); no early exit.
+        return self.comp.push_select(~visited)
+
+    def lanes_pull_body(self, group_lanes, lanes):
+        group = np.uint64(group_lanes)
+        return self.comp.push_select((~lanes.visited & group) != 0)
+
+    def commit_pull(self, sel, active, visited, ledger, record):
         """Bottom-up L2L via batched query/reply messages.
 
         By edge symmetry, the arcs stored at ``owner(v)`` with source ``v``
@@ -760,7 +800,6 @@ class L2LKernel(_FifteenDKernel):
         arc of an unvisited vertex is queried.
         """
         ctx = self.ctx
-        sel = self.comp.push_select(~visited)
         per_rank = sel.per_rank(ctx.num_ranks)
         record.scanned_arcs["L2L"] = sel.num_arcs
         seconds = ctx.kernel_time(int(per_rank.max()), ctx.message_rate())
@@ -780,7 +819,7 @@ class L2LKernel(_FifteenDKernel):
         uniq, first = np.unique(v_h, return_index=True)
         return uniq, u_h[first]
 
-    def _execute_pull_lanes(self, group_lanes, lanes, ledger, record):
+    def commit_pull_lanes(self, sel, group_lanes, lanes, ledger, record):
         """Batched query/reply L2L pull: one query covers every lane in
         which the source is still unvisited; lane ``l``'s hits are the
         arcs whose source carries the candidate bit and whose neighbor
@@ -788,7 +827,6 @@ class L2LKernel(_FifteenDKernel):
         ctx = self.ctx
         group = np.uint64(group_lanes)
         cand_bits = ~lanes.visited & group
-        sel = self.comp.push_select(cand_bits != 0)
         per_rank = sel.per_rank(ctx.num_ranks)
         record.scanned_arcs["L2L"] = (
             record.scanned_arcs.get("L2L", 0) + sel.num_arcs

@@ -159,6 +159,7 @@ class LevelSyncScheduler:
         *,
         tracer: Tracer | None = None,
         metrics=None,
+        backend=None,
     ) -> None:
         self.host = host
         #: Execution order within an iteration is the mounting order —
@@ -166,6 +167,14 @@ class LevelSyncScheduler:
         self.kernels = kernels
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        if backend is None:
+            from repro.runtime.backends.base import SimulatedBackend
+
+            backend = SimulatedBackend()
+        #: Where sub-iteration bodies run; the scheduler mounts its
+        #: kernels but never closes the backend (the creator owns it).
+        self.backend = backend
+        backend.mount(kernels)
 
     def run(
         self,
@@ -317,8 +326,8 @@ class LevelSyncScheduler:
                         iteration=it,
                         direction=direction,
                     ) as csp:
-                        newly, parents = kernel.execute(
-                            direction, active, visited, ledger, record
+                        newly, parents = self.backend.execute(
+                            kernel, direction, active, visited, ledger, record
                         )
                         csp.add_counter(
                             "edges", record.scanned_arcs.get(name, 0)
@@ -496,8 +505,8 @@ class LevelSyncScheduler:
                         iteration=it,
                         direction=direction,
                     ) as csp:
-                        newly = kernel.execute_program(
-                            program, direction, active, ledger, record
+                        newly = self.backend.execute_program(
+                            kernel, program, direction, active, ledger, record
                         )
                         csp.add_counter(
                             "edges", record.scanned_arcs.get(name, 0)
@@ -654,8 +663,8 @@ class LevelSyncScheduler:
                     iteration=it,
                     direction=direction,
                 ) as csp:
-                    updates = kernel.execute_lanes(
-                        direction, group, lanes, ledger, record
+                    updates = self.backend.execute_lanes(
+                        kernel, direction, group, lanes, ledger, record
                     )
                     newly = lanes.commit(updates)
                     newly_total |= newly

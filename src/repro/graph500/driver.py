@@ -213,6 +213,7 @@ def run_graph500(
     max_restarts: int = 3,
     recovery_mode: str = "restart",
     batch_roots: bool = False,
+    backend=None,
 ) -> Graph500Report:
     """Run the full Graph500 benchmark flow on the simulated machine.
 
@@ -310,12 +311,12 @@ def run_graph500(
 
         engine = MultiSourceBFS(
             part, machine=machine, config=config, tracer=tracer,
-            metrics=metrics,
+            metrics=metrics, backend=backend,
         )
     else:
         engine = DistributedBFS(
             part, machine=machine, config=config, tracer=tracer,
-            metrics=metrics,
+            metrics=metrics, backend=backend,
         )
 
     # Resilience setup: the injector shares the run's one seeded rng
@@ -483,6 +484,7 @@ def run_graph500_sssp(
     machine: MachineSpec | None = None,
     validate: bool = True,
     algorithm: str = "delta-stepping",
+    backend=None,
 ) -> Graph500Report:
     """The benchmark's SSSP kernel over sampled roots.
 
@@ -525,12 +527,13 @@ def run_graph500_sssp(
     for root in roots:
         if algorithm == "delta-stepping":
             res = delta_stepping_sssp(
-                part, int(root), weights, src, dst, machine=machine
+                part, int(root), weights, src, dst, machine=machine,
+                backend=backend,
             )
         else:
             res = bellman_ford(
                 part, int(root), weights, edge_src=src, edge_dst=dst,
-                machine=machine,
+                machine=machine, backend=backend,
             )
         if validate:
             try:

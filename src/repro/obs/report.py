@@ -42,6 +42,7 @@ __all__ = [
     "RunReport",
     "MetricDelta",
     "config_fingerprint",
+    "wallclock_metrics",
     "report_from_bfs",
     "report_from_graph500",
     "report_from_serve",
@@ -63,7 +64,39 @@ RUN_REPORT_SCHEMA = "repro.run_report/1"
 HIGHER_BETTER = frozenset({
     "gteps", "harmonic_mean_teps", "mean_gteps",
     "serve.cache_hit_rate", "serve.mean_batch_size", "serve.qps",
+    "wallclock.gteps",
 })
+
+
+def wallclock_metrics(tracer, *, num_edges: int | None = None) -> dict:
+    """``wallclock.*`` metrics from a run's tracer.
+
+    Every traversal (sequential BFS, vertex program, batched wave) opens
+    one ``category="bfs"`` span, stamped against the host's
+    ``perf_counter`` alongside the simulated clock; their wall time is
+    where an execution backend's real parallelism shows up, while every
+    ``seconds``/``gteps`` metric stays pinned to the simulated machine.
+    With ``num_edges``, a derived ``wallclock.gteps`` reports how fast
+    the host actually traversed (edges per traversal x traversals /
+    wall seconds).  Empty when the tracer saw no traversal.
+    """
+    spans = [
+        sp
+        for sp in getattr(tracer, "spans", None) or []
+        if getattr(sp, "category", "") == "bfs"
+    ]
+    if not spans:
+        return {}
+    seconds = float(sum(sp.wall_seconds for sp in spans))
+    out = {
+        "wallclock.traversal_seconds": seconds,
+        "wallclock.traversals": float(len(spans)),
+    }
+    if num_edges and seconds > 0.0:
+        out["wallclock.gteps"] = (
+            float(num_edges) * len(spans) / seconds / 1e9
+        )
+    return out
 
 
 def config_fingerprint(payload: dict) -> str:
@@ -244,16 +277,23 @@ def report_from_bfs(
     name: str = "bfs",
     config=None,
     context: dict | None = None,
+    tracer=None,
+    backend=None,
 ) -> RunReport:
     """Build a :class:`RunReport` from one BFS run.
 
     ``result`` is a :class:`~repro.core.metrics.BFSRunResult`; ``config``
     the :class:`~repro.core.config.BFSConfig` it ran under (folded into
     the fingerprint); ``context`` any extra fingerprinted facts (scale,
-    mesh shape, seed, root).
+    mesh shape, seed, root).  Pass the run's ``tracer`` to add the
+    ``wallclock.*`` section and its execution ``backend`` to fold the
+    backend name and worker count into the fingerprinted context.
     """
     ledger = result.ledger
     ctx = _context(name, config, context)
+    if backend is not None:
+        for key, value in backend.describe().items():
+            ctx.setdefault(key, value)
     metrics = {
         "gteps": float(result.simulated_gteps()),
         "total_seconds": float(result.total_seconds),
@@ -265,6 +305,10 @@ def report_from_bfs(
     }
     for phase, secs in ledger.seconds_by_phase().items():
         metrics[f"seconds.{phase}"] = float(secs)
+    if tracer is not None:
+        metrics.update(
+            wallclock_metrics(tracer, num_edges=result.num_input_edges)
+        )
     return RunReport(
         name=name,
         fingerprint=config_fingerprint(ctx),
@@ -282,6 +326,8 @@ def report_from_graph500(
     name: str = "graph500",
     config=None,
     context: dict | None = None,
+    tracer=None,
+    backend=None,
 ) -> RunReport:
     """Build a :class:`RunReport` from a full Graph500 benchmark run.
 
@@ -291,6 +337,9 @@ def report_from_graph500(
     per-root shapes are near-identical on an R-MAT graph).
     """
     ctx = _context(name, config, context)
+    if backend is not None:
+        for key, value in backend.describe().items():
+            ctx.setdefault(key, value)
     ctx.setdefault("scale", int(report.problem.scale))
     ctx.setdefault("num_nodes", int(report.num_nodes))
     ctx.setdefault("num_roots", int(report.roots.size))
@@ -335,6 +384,10 @@ def report_from_graph500(
         ):
             if key in resilience:
                 metrics[f"resilience.{key}"] = float(resilience[key])
+    if tracer is not None:
+        metrics.update(
+            wallclock_metrics(tracer, num_edges=report.problem.num_edges)
+        )
     return RunReport(
         name=name,
         fingerprint=config_fingerprint(ctx),

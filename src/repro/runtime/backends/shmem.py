@@ -1,0 +1,540 @@
+"""Shared-memory parallel execution backend.
+
+:class:`SharedMemoryBackend` runs kernel *bodies* — the pure arc
+selection / scan half of every sub-iteration — chunked across a pool of
+``multiprocessing`` workers reading zero-copy views of shared-memory
+segments, then merges the chunk results and *commits* them through the
+very same kernel code the simulated backend uses (ledger charges,
+message routing, activation dedup).  Bit-identical outputs are therefore
+structural, not coincidental:
+
+- a body over slot/group range ``[0, n)`` equals the concatenation of
+  bodies over ``[0, a), [a, b), ..., [m, n)`` because selection order is
+  slot/group order and (rank, dst) groups never straddle a chunk cut;
+- per-rank scanned counters are bincounts, which sum exactly across
+  chunks (integer-valued floats well below 2**53);
+- hit dedup (:func:`~repro.core.subgraphs.dedup_pull_hits`,
+  :func:`~repro.core.subgraphs.dedup_lane_hits`) runs on the merged
+  arrays, after concatenation — the same single-pass rule as in-process.
+
+Segments: one static segment per mounted component (its eight frozen
+traversal arrays plus ``num_ranks``, packed with an offset table) and one
+dynamic segment per vertex-count holding the per-call frontier masks.
+Chunks are cut by *arc mass* (``searchsorted`` over the CSR/group
+pointers) so workers receive balanced work, not balanced slot counts.
+
+Cleanup is triple-guarded: engines route calls in ``try/finally``,
+``close()`` is idempotent, and an ``atexit`` hook unlinks every segment
+and terminates the pool even if the owner forgot — a crashed worker can
+never leak ``/dev/shm`` space past process exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue
+import secrets
+import time
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.core.subgraphs import (
+    LanePullScan,
+    PullScan,
+    PullSelection,
+    PushSelection,
+    dedup_lane_hits,
+    dedup_pull_hits,
+)
+from repro.runtime.backends.base import ExecutionBackend
+from repro.runtime.backends.shmem_worker import (
+    mask_segment_size,
+    mask_views,
+    worker_main,
+)
+
+__all__ = ["SharedMemoryBackend", "BackendWorkerError", "SEGMENT_PREFIX"]
+
+#: Every segment this backend creates carries this name prefix, so leak
+#: checks can enumerate ``/dev/shm`` for leftovers.
+SEGMENT_PREFIX = "repro-shm"
+
+_EMPTY = np.array([], dtype=np.int64)
+
+
+class BackendWorkerError(RuntimeError):
+    """A worker crashed, raised, or stopped answering."""
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _align8(nbytes: int) -> int:
+    return -(-nbytes // 8) * 8
+
+
+def _chunk_ranges(indptr: np.ndarray, size: int, parts: int) -> list:
+    """Cut ``[0, size)`` into ≤ ``parts`` ranges of near-equal arc mass.
+
+    ``indptr`` is the CSR/group pointer array (``indptr[i]`` = first arc
+    of slot ``i``); boundaries land where cumulative arcs cross the
+    ``i/parts`` quantiles, so a hub slot never splits and chunk work is
+    balanced by arcs rather than slots.
+    """
+    if size <= 0:
+        return []
+    parts = min(int(parts), size)
+    if parts <= 1:
+        return [(0, size)]
+    total = int(indptr[size])
+    if total == 0:
+        bounds = np.linspace(0, size, parts + 1).astype(np.int64)
+    else:
+        targets = (np.arange(1, parts, dtype=np.int64) * total) // parts
+        inner = np.searchsorted(indptr[: size + 1], targets, side="left")
+        bounds = np.concatenate(([0], inner, [size]))
+    bounds = np.maximum.accumulate(np.clip(bounds, 0, size))
+    return [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+class _ComponentTable:
+    """One component's frozen arrays packed into a shared segment."""
+
+    def __init__(self, comp, parts: int) -> None:
+        # Pin the component: tables are keyed by id(), and a freed
+        # component's address can be reused by a later mount — the ref
+        # keeps cached ids unique for the backend's whole lifetime.
+        self.comp = comp
+        arrays = {
+            key: np.ascontiguousarray(arr)
+            for key, arr in comp.body_arrays().items()
+        }
+        layout = {}
+        offset = 0
+        for key, arr in arrays.items():
+            offset = _align8(offset)
+            layout[key] = (offset, arr.dtype.str, arr.shape)
+            offset += arr.nbytes
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=_segment_name()
+        )
+        for key, arr in arrays.items():
+            off, dtype, shape = layout[key]
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self.shm.buf, offset=off
+            )
+            view[...] = arr
+            del view
+        self.meta = (self.shm.name, layout)
+        num_slots = int(arrays["src_ids"].shape[0])
+        num_groups = int(arrays["grp_dst"].shape[0])
+        self.push_chunks = _chunk_ranges(arrays["src_indptr"], num_slots, parts)
+        self.pull_chunks = _chunk_ranges(arrays["grp_ptr"], num_groups, parts)
+
+
+class _MaskBuffers:
+    """The per-call frontier masks for an ``n``-vertex graph."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self.shm = shared_memory.SharedMemory(
+            create=True,
+            size=mask_segment_size(num_vertices),
+            name=_segment_name(),
+        )
+        self.views = mask_views(self.shm.buf, num_vertices)
+        self.meta = (self.shm.name, num_vertices)
+
+    def release(self) -> None:
+        # Drop the numpy views before closing: an exported memoryview
+        # keeps the mapping alive and close() would raise BufferError.
+        self.views = None
+
+
+class SharedMemoryBackend(ExecutionBackend):
+    """Real parallel body execution over ``multiprocessing.shared_memory``.
+
+    ``workers`` body processes are forked lazily on the first chunked
+    call (an engine that never executes — e.g. a replay engine whose
+    kernels expose no body split — spawns nothing).  One backend may be
+    mounted by several engines over the same graph; component segments
+    are deduplicated by component identity.
+    """
+
+    name = "shmem"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        start_method: str | None = None,
+        task_timeout: float = 120.0,
+    ) -> None:
+        if int(workers) < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = int(workers)
+        self._task_timeout = float(task_timeout)
+        if start_method is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = get_context(start_method)
+        self._tables: dict[int, _ComponentTable] = {}
+        self._masks: dict[int, _MaskBuffers] = {}
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._epoch = 0
+        self._closed = False
+        self._atexit_registered = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def mount(self, kernels: dict) -> None:
+        """Ship every splittable kernel's component arrays to ``/dev/shm``."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        self._register_atexit()
+        for kernel in kernels.values():
+            spec = kernel.body_spec()
+            if spec is None:
+                continue
+            comp = spec.component
+            if id(comp) not in self._tables:
+                self._tables[id(comp)] = _ComponentTable(comp, self._workers)
+
+    def _register_atexit(self) -> None:
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+
+    def _ensure_pool(self) -> None:
+        if self._procs:
+            return
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        for _ in range(self._workers):
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(self._task_q, self._result_q),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _masks_for(self, num_vertices: int) -> _MaskBuffers:
+        bufs = self._masks.get(num_vertices)
+        if bufs is None:
+            self._register_atexit()
+            bufs = _MaskBuffers(num_vertices)
+            self._masks[num_vertices] = bufs
+        return bufs
+
+    def close(self) -> None:
+        """Stop the pool and unlink every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._atexit_registered:
+            try:
+                atexit.unregister(self.close)
+            except Exception:
+                pass
+        try:
+            self._stop_pool()
+        finally:
+            self._unlink_segments()
+
+    def _stop_pool(self) -> None:
+        for _ in self._procs:
+            try:
+                self._task_q.put_nowait(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except Exception:
+                    pass
+        self._procs = []
+        self._task_q = None
+        self._result_q = None
+
+    def _unlink_segments(self) -> None:
+        for bufs in self._masks.values():
+            bufs.release()
+        segments = [t.shm for t in self._tables.values()]
+        segments += [b.shm for b in self._masks.values()]
+        self._tables = {}
+        self._masks = {}
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # chunk dispatch
+    # ------------------------------------------------------------------
+
+    def _run_chunks(self, op, table, chunks, masks_meta, group=0):
+        """Fan one body out over ``chunks`` and gather in chunk order."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        self._ensure_pool()
+        self._epoch += 1
+        epoch = self._epoch
+        for chunk_id, (lo, hi) in enumerate(chunks):
+            self._task_q.put(
+                (epoch, chunk_id, op, table.meta, masks_meta, lo, hi, group)
+            )
+        results = [None] * len(chunks)
+        pending = len(chunks)
+        deadline = time.monotonic() + self._task_timeout
+        while pending:
+            try:
+                msg = self._result_q.get(timeout=0.5)
+            except queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise BackendWorkerError(
+                        f"{len(dead)} of {len(self._procs)} shmem workers "
+                        f"died (exit codes "
+                        f"{[p.exitcode for p in dead]}); results incomplete"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise BackendWorkerError(
+                        f"shmem workers produced no result for {op!r} within "
+                        f"{self._task_timeout:.0f}s"
+                    ) from None
+                continue
+            kind, r_epoch, chunk_id, payload = msg
+            if r_epoch != epoch:
+                continue  # stale result of an earlier, failed call
+            if kind == "err":
+                raise BackendWorkerError(
+                    f"shmem worker failed on {op!r}:\n{payload}"
+                )
+            results[chunk_id] = payload
+            pending -= 1
+        return results
+
+    # ------------------------------------------------------------------
+    # chunk merging — concatenation in chunk order IS full-range order
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _merge_push(parts) -> PushSelection:
+        if not parts:
+            return PushSelection(_EMPTY, _EMPTY, _EMPTY)
+        return PushSelection(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+        )
+
+    @staticmethod
+    def _merge_pull_scan(parts, num_ranks: int) -> PullScan:
+        if not parts:
+            zero = np.zeros(num_ranks, dtype=np.int64)
+            return PullScan(_EMPTY, _EMPTY, _EMPTY, zero)
+        g_dst = np.concatenate([p[0] for p in parts])
+        g_src = np.concatenate([p[1] for p in parts])
+        g_rank = np.concatenate([p[2] for p in parts])
+        scanned = np.sum([p[3] for p in parts], axis=0)
+        if g_dst.size == 0:
+            return PullScan(_EMPTY, _EMPTY, _EMPTY, scanned)
+        hit_dst, hit_src, hit_rank = dedup_pull_hits(g_dst, g_src, g_rank)
+        return PullScan(hit_dst, hit_src, hit_rank, scanned)
+
+    @staticmethod
+    def _merge_pull_select(parts, num_ranks: int) -> PullSelection:
+        if not parts:
+            zero = np.zeros(num_ranks, dtype=np.int64)
+            return PullSelection(_EMPTY, _EMPTY, _EMPTY, zero)
+        return PullSelection(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+            np.sum([p[3] for p in parts], axis=0),
+        )
+
+    @staticmethod
+    def _merge_lane_scan(parts, num_ranks: int) -> LanePullScan:
+        if not parts:
+            zero = np.zeros(num_ranks, dtype=np.int64)
+            return LanePullScan([], zero, _EMPTY, _EMPTY)
+        scanned = np.sum([p[1] for p in parts], axis=0)
+        by_lane: dict[int, list] = {}
+        for lane_hits, _ in parts:
+            for lane, g_dst, g_src, g_rank in lane_hits:
+                by_lane.setdefault(int(lane), []).append((g_dst, g_src, g_rank))
+        lane_hits = [
+            (
+                lane,
+                np.concatenate([h[0] for h in hits]),
+                np.concatenate([h[1] for h in hits]),
+                np.concatenate([h[2] for h in hits]),
+            )
+            for lane, hits in sorted(by_lane.items())
+        ]
+        updates, msg_dst, msg_rank = dedup_lane_hits(lane_hits, num_ranks)
+        return LanePullScan(updates, scanned, msg_dst, msg_rank)
+
+    # ------------------------------------------------------------------
+    # the three scheduler call sites
+    # ------------------------------------------------------------------
+
+    def execute(self, kernel, direction, active, visited, ledger, record):
+        spec = kernel.body_spec()
+        if spec is None:
+            return kernel.execute(direction, active, visited, ledger, record)
+        comp = spec.component
+        table = self._tables[id(comp)]
+        masks = self._masks_for(active.size)
+        if direction == "push":
+            if not table.push_chunks:
+                return kernel.execute(
+                    direction, active, visited, ledger, record
+                )
+            masks.views["active"][:] = active
+            parts = self._run_chunks(
+                "push_active", table, table.push_chunks, masks.meta
+            )
+            sel = self._merge_push(parts)
+            return kernel.commit_push(sel, active, visited, ledger, record)
+        if spec.pull_kind == "query":
+            # L2L pull is modeled as a query/reply exchange: the body is a
+            # push-style selection over the unvisited mask.
+            if not table.push_chunks:
+                return kernel.execute(
+                    direction, active, visited, ledger, record
+                )
+            masks.views["cand"][:] = ~visited
+            parts = self._run_chunks(
+                "push_cand", table, table.push_chunks, masks.meta
+            )
+            sel = self._merge_push(parts)
+            return kernel.commit_pull(sel, active, visited, ledger, record)
+        if not table.pull_chunks:
+            return kernel.execute(direction, active, visited, ledger, record)
+        masks.views["active"][:] = active
+        masks.views["cand"][:] = ~visited
+        parts = self._run_chunks(
+            "pull_scan", table, table.pull_chunks, masks.meta
+        )
+        scan = self._merge_pull_scan(parts, comp.num_ranks)
+        return kernel.commit_pull(scan, active, visited, ledger, record)
+
+    def execute_program(self, kernel, program, direction, active, ledger, record):
+        spec = kernel.body_spec()
+        if spec is None or spec.pull_kind != "scan":
+            return kernel.execute_program(
+                program, direction, active, ledger, record
+            )
+        comp = spec.component
+        table = self._tables[id(comp)]
+        masks = self._masks_for(active.size)
+        if direction == "push":
+            if not table.push_chunks:
+                return kernel.execute_program(
+                    program, direction, active, ledger, record
+                )
+            masks.views["active"][:] = active
+            parts = self._run_chunks(
+                "push_active", table, table.push_chunks, masks.meta
+            )
+            sel = self._merge_push(parts)
+            return kernel.commit_program_push(
+                program, sel, active, ledger, record
+            )
+        if not table.pull_chunks:
+            return kernel.execute_program(
+                program, direction, active, ledger, record
+            )
+        candidates = program.pull_candidates()
+        masks.views["active"][:] = active
+        masks.views["cand"][:] = candidates
+        parts = self._run_chunks(
+            "pull_select", table, table.pull_chunks, masks.meta
+        )
+        sel = self._merge_pull_select(parts, comp.num_ranks)
+        return kernel.commit_program_pull(
+            program, sel, candidates, active, ledger, record
+        )
+
+    def execute_lanes(self, kernel, direction, group_lanes, lanes, ledger, record):
+        spec = kernel.body_spec()
+        if spec is None:
+            return kernel.execute_lanes(
+                direction, group_lanes, lanes, ledger, record
+            )
+        comp = spec.component
+        table = self._tables[id(comp)]
+        masks = self._masks_for(lanes.active.size)
+        group = int(group_lanes)
+        if direction == "push":
+            if not table.push_chunks:
+                return kernel.execute_lanes(
+                    direction, group_lanes, lanes, ledger, record
+                )
+            masks.views["act_bits"][:] = lanes.active
+            parts = self._run_chunks(
+                "lanes_push", table, table.push_chunks, masks.meta, group
+            )
+            sel = self._merge_push(parts)
+            return kernel.commit_push_lanes(
+                sel, group_lanes, lanes, ledger, record
+            )
+        if spec.pull_kind == "query":
+            if not table.push_chunks:
+                return kernel.execute_lanes(
+                    direction, group_lanes, lanes, ledger, record
+                )
+            masks.views["cand_bits"][:] = ~lanes.visited
+            parts = self._run_chunks(
+                "lanes_query", table, table.push_chunks, masks.meta, group
+            )
+            sel = self._merge_push(parts)
+            return kernel.commit_pull_lanes(
+                sel, group_lanes, lanes, ledger, record
+            )
+        if not table.pull_chunks:
+            return kernel.execute_lanes(
+                direction, group_lanes, lanes, ledger, record
+            )
+        masks.views["act_bits"][:] = lanes.active
+        masks.views["cand_bits"][:] = ~lanes.visited
+        parts = self._run_chunks(
+            "lanes_pull_scan", table, table.pull_chunks, masks.meta, group
+        )
+        scan = self._merge_lane_scan(parts, comp.num_ranks)
+        return kernel.commit_pull_lanes(
+            scan, group_lanes, lanes, ledger, record
+        )

@@ -1,0 +1,239 @@
+"""Worker loop of the :class:`~repro.runtime.backends.shmem.SharedMemoryBackend`.
+
+A worker process executes pure traversal bodies — the range-parameterized
+selection/scan functions of :mod:`repro.core.subgraphs` — over zero-copy
+views of shared-memory segments the parent packed.  It never touches a
+ledger, tracer, or kernel object: everything it reads arrives through a
+segment (frozen component arrays, per-call frontier masks) and everything
+it produces returns through the result queue as plain numpy arrays, which
+the parent merges deterministically and commits through the kernel.
+
+Task tuples are ``(epoch, chunk_id, op, table_meta, masks_meta, lo, hi,
+group)``; a ``None`` task shuts the worker down.  ``table_meta`` is
+``(segment_name, {array_key: (offset, dtype, shape)})`` for a component's
+frozen arrays, ``masks_meta`` is ``(segment_name, num_vertices)`` for the
+dynamic mask buffers (fixed layout, see :func:`mask_views`).  Segments
+are attached lazily and cached by name, so the parent may mount new
+components after the pool has started.
+"""
+
+from __future__ import annotations
+
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.subgraphs import (
+    pull_scan_lanes_range,
+    pull_scan_range,
+    pull_select_range,
+    push_select_range,
+)
+
+__all__ = ["worker_main", "mask_views", "MASK_KEYS"]
+
+#: Dynamic per-call inputs, in segment layout order.
+MASK_KEYS = ("active", "cand", "act_bits", "cand_bits")
+
+
+def _align8(nbytes: int) -> int:
+    return -(-nbytes // 8) * 8
+
+
+def mask_segment_size(num_vertices: int) -> int:
+    """Bytes of the dynamic mask segment for an ``num_vertices`` graph."""
+    return max(_align8(2 * num_vertices) + 16 * num_vertices, 1)
+
+
+def mask_views(buf, num_vertices: int) -> dict[str, np.ndarray]:
+    """Zero-copy mask arrays over a dynamic segment's buffer.
+
+    Layout: ``active`` (bool), ``cand`` (bool), then 8-byte aligned
+    ``act_bits`` and ``cand_bits`` (uint64 lane words).
+    """
+    n = num_vertices
+    words_off = _align8(2 * n)
+    return {
+        "active": np.ndarray((n,), dtype=np.bool_, buffer=buf, offset=0),
+        "cand": np.ndarray((n,), dtype=np.bool_, buffer=buf, offset=n),
+        "act_bits": np.ndarray(
+            (n,), dtype=np.uint64, buffer=buf, offset=words_off
+        ),
+        "cand_bits": np.ndarray(
+            (n,), dtype=np.uint64, buffer=buf, offset=words_off + 8 * n
+        ),
+    }
+
+
+def _disable_segment_tracking() -> None:
+    """Stop this process's resource tracker from adopting segments.
+
+    Workers only *attach*; the parent owns every segment and unlinks at
+    ``close()``.  Before Python 3.13's ``track=False``, attaching also
+    registers with the (fork-shared) resource tracker, so worker exits
+    would unregister — or double-unregister — segments they never owned.
+    A no-op ``register`` in the worker process leaves the parent's
+    registration as the single source of truth.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register = lambda name, rtype: None
+        resource_tracker.unregister = lambda name, rtype: None
+    except Exception:
+        pass
+
+
+class _SegmentCache:
+    """Lazily attached, name-keyed shared segments."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._tables: dict[str, dict[str, np.ndarray]] = {}
+        self._masks: dict[str, dict[str, np.ndarray]] = {}
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        shm = self._segments.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            self._segments[name] = shm
+        return shm
+
+    def table(self, table_meta) -> dict[str, np.ndarray]:
+        name, layout = table_meta
+        arrays = self._tables.get(name)
+        if arrays is None:
+            shm = self._attach(name)
+            arrays = {
+                key: np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+                )
+                for key, (off, dtype, shape) in layout.items()
+            }
+            self._tables[name] = arrays
+        return arrays
+
+    def masks(self, masks_meta) -> dict[str, np.ndarray]:
+        name, num_vertices = masks_meta
+        views = self._masks.get(name)
+        if views is None:
+            shm = self._attach(name)
+            views = mask_views(shm.buf, num_vertices)
+            self._masks[name] = views
+        return views
+
+    def release(self) -> None:
+        self._tables.clear()
+        self._masks.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._segments.clear()
+
+
+def _run_op(op, arrays, masks, lo, hi, group):
+    """Dispatch one body over slots/groups ``[lo, hi)``."""
+    if op == "push_active":
+        return push_select_range(
+            arrays["src_ids"],
+            arrays["src_indptr"],
+            arrays["push_dst"],
+            arrays["push_rank"],
+            masks["active"],
+            lo,
+            hi,
+        )
+    if op == "push_cand":
+        return push_select_range(
+            arrays["src_ids"],
+            arrays["src_indptr"],
+            arrays["push_dst"],
+            arrays["push_rank"],
+            masks["cand"],
+            lo,
+            hi,
+        )
+    num_ranks = int(arrays["num_ranks"][0])
+    if op == "pull_scan":
+        return pull_scan_range(
+            arrays["grp_ptr"],
+            arrays["grp_dst"],
+            arrays["grp_rank"],
+            arrays["pull_src"],
+            masks["cand"],
+            masks["active"],
+            lo,
+            hi,
+            num_ranks,
+        )
+    if op == "pull_select":
+        return pull_select_range(
+            arrays["grp_ptr"],
+            arrays["grp_dst"],
+            arrays["grp_rank"],
+            arrays["pull_src"],
+            masks["cand"],
+            masks["active"],
+            lo,
+            hi,
+            num_ranks,
+        )
+    group = np.uint64(group)
+    if op == "lanes_push":
+        return push_select_range(
+            arrays["src_ids"],
+            arrays["src_indptr"],
+            arrays["push_dst"],
+            arrays["push_rank"],
+            (masks["act_bits"] & group) != 0,
+            lo,
+            hi,
+        )
+    if op == "lanes_query":
+        return push_select_range(
+            arrays["src_ids"],
+            arrays["src_indptr"],
+            arrays["push_dst"],
+            arrays["push_rank"],
+            (masks["cand_bits"] & group) != 0,
+            lo,
+            hi,
+        )
+    if op == "lanes_pull_scan":
+        return pull_scan_lanes_range(
+            arrays["grp_ptr"],
+            arrays["grp_dst"],
+            arrays["grp_rank"],
+            arrays["pull_src"],
+            masks["cand_bits"] & group,
+            masks["act_bits"] & group,
+            group,
+            lo,
+            hi,
+            num_ranks,
+        )
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def worker_main(task_q, result_q) -> None:
+    """Blocking worker loop; exits on a ``None`` task."""
+    _disable_segment_tracking()
+    cache = _SegmentCache()
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                return
+            epoch, chunk_id, op, table_meta, masks_meta, lo, hi, group = task
+            try:
+                arrays = cache.table(table_meta)
+                masks = cache.masks(masks_meta)
+                payload = _run_op(op, arrays, masks, lo, hi, group)
+                result_q.put(("ok", epoch, chunk_id, payload))
+            except Exception:
+                result_q.put(("err", epoch, chunk_id, traceback.format_exc()))
+    finally:
+        cache.release()

@@ -46,11 +46,14 @@ def build_serving_pair(
     seed: int,
     e_threshold: int | None = None,
     h_threshold: int | None = None,
+    backend=None,
 ):
     """Build the (sequential engine, batch engine) pair over one graph.
 
     Both share the partition, machine model, and config, so any cost
-    difference between them is the batching itself.
+    difference between them is the batching itself.  A ``backend`` is
+    shared by both engines (mounting is additive and deduplicated by
+    component, so the pair costs one set of shared segments).
     """
     from repro.analysis.experiments import tuned_thresholds
     from repro.core.config import BFSConfig
@@ -76,8 +79,12 @@ def build_serving_pair(
         e_threshold=e_threshold, h_threshold=h_threshold,
     )
     config = BFSConfig(e_threshold=e_threshold, h_threshold=h_threshold)
-    sequential = DistributedBFS(part, machine=machine, config=config)
-    batched = MultiSourceBFS(part, machine=machine, config=config)
+    sequential = DistributedBFS(
+        part, machine=machine, config=config, backend=backend
+    )
+    batched = MultiSourceBFS(
+        part, machine=machine, config=config, backend=backend
+    )
     return sequential, batched
 
 

@@ -326,6 +326,7 @@ class TraversalService:
                 src.part,
                 machine=getattr(src, "machine", None),
                 metrics=getattr(src, "metrics", None),
+                backend=getattr(src.scheduler, "backend", None),
             )
         return self._program_engine
 

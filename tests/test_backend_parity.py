@@ -1,0 +1,271 @@
+"""Shared-memory backend == simulated backend, bit for bit.
+
+The :class:`~repro.runtime.backends.shmem.SharedMemoryBackend` computes
+kernel bodies in real worker processes but commits through the same
+kernel code as the simulated loop, so every observable — parents,
+per-iteration records, ledger float totals — must match the in-process
+run exactly.  These tests pin that equivalence over the full golden
+matrix (all seven engine configurations, the seven program goldens, a
+64-lane batched wave), over hypothesis-random graphs, and in the
+degenerate one-worker pool; plus the failure-path contracts (dead
+workers raise, ``close()`` never leaks ``/dev/shm`` segments).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from golden.generate import E_THR, H_THR, build_system, run_record
+from repro.baselines import DelegatedOneDimBFS, OneDimBFS, TwoDimBFS
+from repro.core import (
+    connected_components,
+    delta_stepping_sssp,
+    generate_weights,
+    pagerank,
+    partition_graph,
+    sssp,
+    triangle_count,
+)
+from repro.core.config import BFSConfig
+from repro.core.engine import DistributedBFS
+from repro.machine.network import MachineSpec
+from repro.runtime.backends import (
+    BackendWorkerError,
+    SharedMemoryBackend,
+    SimulatedBackend,
+    create_backend,
+)
+from repro.runtime.backends.shmem import SEGMENT_PREFIX
+from repro.runtime.mesh import ProcessMesh
+from repro.runtime.replay import ReplayBFS
+from repro.serve.msbfs import MultiSourceBFS
+
+
+def _canon(record) -> str:
+    """JSON round-trip so float comparison is repr-exact, like the goldens."""
+    return json.dumps(record, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system()
+
+
+@pytest.fixture(scope="module")
+def shmem():
+    backend = SharedMemoryBackend(workers=2)
+    yield backend
+    backend.close()
+
+
+class TestGoldenConfigParity:
+    """The seven golden engine configurations, sim vs shmem."""
+
+    def test_engine_configs(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        for cfg in (
+            BFSConfig(e_threshold=E_THR, h_threshold=H_THR),
+            BFSConfig(
+                e_threshold=E_THR, h_threshold=H_THR,
+                sub_iteration_direction=False,
+            ),
+            BFSConfig(
+                e_threshold=E_THR, h_threshold=H_THR,
+                delayed_reduction=False,
+            ),
+        ):
+            sim = DistributedBFS(part, machine=machine, config=cfg)
+            par = DistributedBFS(
+                part, machine=machine, config=cfg, backend=shmem
+            )
+            assert _canon(run_record(sim.run(root))) == _canon(
+                run_record(par.run(root))
+            )
+
+    def test_baselines(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        for cls in (OneDimBFS, DelegatedOneDimBFS, TwoDimBFS):
+            sim = cls(src, dst, n, mesh, machine=machine)
+            par = cls(src, dst, n, mesh, machine=machine, backend=shmem)
+            assert _canon(run_record(sim.run(root))) == _canon(
+                run_record(par.run(root))
+            )
+
+    def test_replay_engine(self, system, shmem):
+        # Replay kernels expose no body split; the backend must fall
+        # back to inline execution and still match exactly.
+        src, dst, n, mesh, machine, part, root = system
+        sim = ReplayBFS(part, machine=machine).run(root)
+        par = ReplayBFS(part, machine=machine, backend=shmem).run(root)
+        assert np.array_equal(sim.parent, par.parent)
+        assert sim.ledger.total_seconds == par.ledger.total_seconds
+        assert sim.messages_sent == par.messages_sent
+
+
+class TestProgramParity:
+    """The seven program-golden runs, sim vs shmem."""
+
+    def test_bellman_ford_variants(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        weights = generate_weights(src.size, seed=8)
+        runs = (
+            dict(),
+            dict(weights=weights, edge_src=src, edge_dst=dst),
+        )
+        for kwargs in runs:
+            for r in (root, 3):
+                a = sssp(part, r, machine=machine, **kwargs)
+                b = sssp(part, r, machine=machine, backend=shmem, **kwargs)
+                assert np.array_equal(a.distance, b.distance)
+                assert np.array_equal(a.parent, b.parent)
+                assert a.relaxations == b.relaxations
+                assert a.ledger.total_seconds == b.ledger.total_seconds
+
+    def test_delta_stepping_variants(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        weights = generate_weights(src.size, seed=8)
+        for kwargs in (dict(), dict(delta=0.1)):
+            a = delta_stepping_sssp(
+                part, root, weights, src, dst, machine=machine, **kwargs
+            )
+            b = delta_stepping_sssp(
+                part, root, weights, src, dst, machine=machine,
+                backend=shmem, **kwargs
+            )
+            assert np.array_equal(a.distance, b.distance)
+            assert np.array_equal(a.parent, b.parent)
+            assert a.num_phases == b.num_phases
+            assert a.ledger.total_seconds == b.ledger.total_seconds
+
+    def test_cc_and_triangles(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        a = connected_components(part, machine=machine)
+        b = connected_components(part, machine=machine, backend=shmem)
+        assert np.array_equal(a.state["labels"], b.state["labels"])
+        assert a.ledger.total_seconds == b.ledger.total_seconds
+        a = triangle_count(part, machine=machine)
+        b = triangle_count(part, machine=machine, backend=shmem)
+        assert np.array_equal(a.state["triangles"], b.state["triangles"])
+        assert (
+            a.info["total_triangles"] == b.info["total_triangles"]
+        )
+
+    def test_pagerank_variants(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        for kwargs in (
+            dict(tol=1e-10, max_iterations=50),
+            dict(tol=0.0, max_iterations=5),
+        ):
+            a = pagerank(part, machine=machine, **kwargs)
+            b = pagerank(part, machine=machine, backend=shmem, **kwargs)
+            assert np.array_equal(a.ranks, b.ranks)
+            assert a.num_iterations == b.num_iterations
+            assert a.ledger.total_seconds == b.ledger.total_seconds
+
+
+class TestBatchParity:
+    def test_msbfs_64_lane_batch(self, system, shmem):
+        src, dst, n, mesh, machine, part, root = system
+        rng = np.random.default_rng(3)
+        roots = [int(r) for r in rng.choice(n, size=64, replace=False)]
+        sim = MultiSourceBFS(part, machine=machine).run_batch(roots)
+        par = MultiSourceBFS(
+            part, machine=machine, backend=shmem
+        ).run_batch(roots)
+        assert np.array_equal(sim.parent, par.parent)
+        assert sim.ledger.total_seconds == par.ledger.total_seconds
+        assert sim.ledger.total_bytes == par.ledger.total_bytes
+
+
+class TestRandomGraphParity:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs(self, seed, shmem):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(32, 256))
+        m = int(rng.integers(n, 4 * n))
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+        mesh = ProcessMesh(2, 2, machine=machine)
+        part = partition_graph(
+            src, dst, n, mesh, e_threshold=8, h_threshold=4
+        )
+        root = int(np.argmax(part.degrees))
+        sim = DistributedBFS(part, machine=machine)
+        par = DistributedBFS(part, machine=machine, backend=shmem)
+        assert _canon(run_record(sim.run(root))) == _canon(
+            run_record(par.run(root))
+        )
+
+
+class TestBackendLifecycle:
+    def test_workers_one_degenerate_pool(self, system):
+        src, dst, n, mesh, machine, part, root = system
+        with SharedMemoryBackend(workers=1) as backend:
+            sim = DistributedBFS(part, machine=machine)
+            par = DistributedBFS(part, machine=machine, backend=backend)
+            assert _canon(run_record(sim.run(root))) == _canon(
+                run_record(par.run(root))
+            )
+            assert len(backend._procs) == 1
+
+    def test_create_backend_registry(self):
+        assert isinstance(create_backend("simulated"), SimulatedBackend)
+        shm = create_backend("shmem", workers=3)
+        try:
+            assert isinstance(shm, SharedMemoryBackend)
+            assert shm.workers == 3
+        finally:
+            shm.close()
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("cuda")
+        with pytest.raises(ValueError, match="workers"):
+            SharedMemoryBackend(workers=0)
+
+    def test_describe_feeds_fingerprint(self):
+        backend = SharedMemoryBackend(workers=4)
+        try:
+            assert backend.describe() == {"backend": "shmem", "workers": 4}
+        finally:
+            backend.close()
+        assert SimulatedBackend().describe() == {
+            "backend": "simulated",
+            "workers": 1,
+        }
+
+    def test_dead_workers_raise_and_close_never_leaks(self, system):
+        src, dst, n, mesh, machine, part, root = system
+        backend = SharedMemoryBackend(workers=2)
+        engine = DistributedBFS(part, machine=machine, backend=backend)
+        engine.run(root)
+        names = [t.shm.name for t in backend._tables.values()]
+        names += [b.shm.name for b in backend._masks.values()]
+        assert names, "mounting must have created shared segments"
+        for path in names:
+            assert glob.glob(f"/dev/shm/{path}")
+        for proc in backend._procs:
+            proc.terminate()
+            proc.join(timeout=5)
+        with pytest.raises(BackendWorkerError, match="died"):
+            engine.run(root)
+        backend.close()
+        for path in names:
+            assert not glob.glob(f"/dev/shm/{path}")
+        backend.close()  # idempotent
+
+    def test_no_prefixed_segments_leak(self, system):
+        # Whatever earlier tests did, a closed backend leaves nothing
+        # carrying the recognizable prefix behind.
+        src, dst, n, mesh, machine, part, root = system
+        before = set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*"))
+        with SharedMemoryBackend(workers=2) as backend:
+            DistributedBFS(part, machine=machine, backend=backend).run(root)
+        after = set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*"))
+        assert after <= before
