@@ -26,7 +26,7 @@ def test_trace_smoke(benchmark, results_dir):
     trace_path = results_dir / "trace_smoke.json"
     write_chrome_trace(tracer, trace_path)
     doc = json.loads(trace_path.read_text())  # (a) round-trips
-    events = doc["traceEvents"]
+    events = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
     assert len(events) == len(tracer.spans)
 
     # (b) monotone nesting: every span closed, within its parent's

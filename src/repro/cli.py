@@ -102,6 +102,16 @@ def _workers_arg(value: str) -> int:
     return out
 
 
+def _slo_arg(value: str):
+    """Parse and validate an ``--slo`` spec at argument time."""
+    from repro.obs.slo import parse_slo_spec
+
+    try:
+        return parse_slo_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _faults_arg(value: str):
     """Parse and validate a ``--faults`` spec at argument time, so a
     malformed spec exits 2 with usage instead of a mid-run traceback."""
@@ -224,6 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="RunReport JSON destination (default: stdout render)")
     rep.add_argument("--prometheus", metavar="PATH", default=None,
                      help="also write Prometheus text exposition of the registry")
+    rep.add_argument("--metrics-json", metavar="PATH", default=None,
+                     help="also write the registry as schema-tagged JSON "
+                          "(counters, gauges, histogram buckets)")
     rep.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
     rep.add_argument("--smoke", action="store_true",
                      help="use the pinned SCALE-10 smoke configuration "
@@ -289,6 +302,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "(the CI smoke gates > 0 on repeats)")
     serve.add_argument("--out", metavar="PATH", default=None,
                        help="write the serve.* RunReport JSON artifact")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the session's Chrome trace (wall clock; "
+                            "per-request and per-worker tracks)")
+    serve.add_argument("--telemetry-port", type=int, default=None,
+                       metavar="PORT",
+                       help="start the live telemetry endpoint (/metrics, "
+                            "/healthz, /slo, /timeline, /trace/<id>) on this "
+                            "port (0 = ephemeral) and self-scrape it during "
+                            "the run")
+    serve.add_argument("--telemetry-interval", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="sampler and self-scrape cadence")
+    serve.add_argument("--slo", type=_slo_arg, action="append", default=None,
+                       metavar="SPEC",
+                       help="SLO spec stage:threshold:objective[:window], "
+                            "repeatable (default with telemetry on: "
+                            "total:0.25:0.99)")
+    serve.add_argument("--straggler-ms", type=float, default=None,
+                       metavar="MS",
+                       help="wall-clock straggler injection: every batch "
+                            "sleeps this long before traversal (drives the "
+                            "SLO monitor in the CI smoke)")
+    serve.add_argument("--expect-slo", choices=("green", "fired"),
+                       default=None,
+                       help="fail unless the final SLO status matches "
+                            "(green = ok with no alerts; fired = degraded "
+                            "or alerted)")
 
     bserve = sub.add_parser(
         "bench-serve", parents=[common, backend_p],
@@ -569,6 +609,17 @@ def _cmd_report(args) -> int:
         prom.parent.mkdir(parents=True, exist_ok=True)
         prom.write_text(to_prometheus_text(registry))
         print(f"prometheus: {args.prometheus}")
+    if args.metrics_json:
+        import json
+        from pathlib import Path
+
+        from repro.obs.metrics import registry_to_json
+
+        dest = Path(args.metrics_json)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(json.dumps(registry_to_json(registry), indent=2,
+                                   sort_keys=True) + "\n")
+        print(f"metrics json: {args.metrics_json}")
     if tracer is not None and not _write_trace(tracer, args.trace):
         return 1
     return 0
@@ -926,18 +977,42 @@ def _cmd_serve(args) -> int:
         backend.close()
 
 
+class _StragglerEngine:
+    """Wraps a batch engine so every traversal sleeps ``delay`` wall
+    seconds first.  Simulated faults never move the wall clock, so this
+    is the honest way to make a wall-clock SLO fire in the CI smoke."""
+
+    def __init__(self, engine, delay: float) -> None:
+        self._engine = engine
+        self._delay = float(delay)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def run_batch(self, roots, **kwargs):
+        import time
+
+        time.sleep(self._delay)
+        return self._engine.run_batch(roots, **kwargs)
+
+
 def _cmd_serve_impl(args, backend) -> int:
     from repro.analysis.reporting import ascii_table, format_seconds
+    from repro.obs.export import write_chrome_trace
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.report import report_from_serve
+    from repro.obs.slo import SLOSpec
+    from repro.obs.tracer import NULL_TRACER, Tracer
     from repro.serve.bench import build_serving_pair
     from repro.serve.workload import make_workload_roots, run_serving_session
 
     rows, cols = args.mesh
+    metrics = MetricsRegistry()
+    tracer = Tracer() if args.trace else NULL_TRACER
     sequential, batched = build_serving_pair(
         args.scale, rows, cols, seed=args.seed,
         e_threshold=args.e_threshold, h_threshold=args.h_threshold,
-        backend=backend,
+        backend=backend, tracer=tracer, metrics=metrics,
     )
     roots = make_workload_roots(
         batched.part.degrees, args.queries, seed=args.seed,
@@ -955,13 +1030,28 @@ def _cmd_serve_impl(args, backend) -> int:
         faults = FaultInjector(
             args.faults, rng=np.random.default_rng(args.seed)
         )
-    metrics = MetricsRegistry()
-    report, service = run_serving_session(
-        batched, roots,
+    engine = batched
+    if args.straggler_ms is not None:
+        engine = _StragglerEngine(batched, args.straggler_ms / 1e3)
+    telemetry = None
+    if args.telemetry_port is not None:
+        slos = args.slo if args.slo else [SLOSpec("total", 0.25, 0.99)]
+        telemetry = dict(
+            port=args.telemetry_port, interval=args.telemetry_interval,
+            slos=slos,
+        )
+    session = run_serving_session(
+        engine, roots,
         clients=args.clients, expected=expected,
         batch_size=args.batch_size, queue_depth=args.queue_depth,
         batch_window=args.batch_window, faults=faults, metrics=metrics,
+        tracer=tracer, telemetry=telemetry,
     )
+    if telemetry is None:
+        report, service = session
+        telem = None
+    else:
+        report, service, telem = session
     stats = service.stats
     table_rows = [
         ("queries", report.num_queries),
@@ -998,6 +1088,9 @@ def _cmd_serve_impl(args, backend) -> int:
             ),
         )
         print(f"run report: {run_report.save(args.out)}")
+    if args.trace:
+        n = write_chrome_trace(tracer, args.trace, clock="wall")
+        print(f"chrome trace: {args.trace} ({n} events, wall clock)")
     ok = report.failed == 0 and report.wrong_parents == 0
     if ok and report.served != report.num_queries:
         print(f"FAIL: {report.num_queries - report.served} queries dropped")
@@ -1006,6 +1099,33 @@ def _cmd_serve_impl(args, backend) -> int:
             and not report.cache_hit_rate > args.min_hit_rate:
         print(f"FAIL: cache hit rate {report.cache_hit_rate:.3f} "
               f"not above {args.min_hit_rate:g}")
+        ok = False
+    if telem is not None:
+        print(f"telemetry: port {telem.port}, {telem.samples} samples, "
+              f"scrapes {telem.scrapes}")
+        if telem.slo is not None:
+            for row in telem.slo["slos"]:
+                print(f"  SLO {row['name']}: {row['status']} "
+                      f"(burn {row['burn_rate']:.2f}, "
+                      f"{row['bad']}/{row['observed']} bad in "
+                      f"{row['window_seconds']:g}s)")
+            for alert in telem.slo["alerts"]:
+                print(f"  alert [{alert['severity']}] {alert['message']}")
+        if not telem.scrapes.get("/metrics") \
+                or not telem.scrapes.get("/healthz"):
+            print("FAIL: telemetry endpoint was never scraped successfully")
+            ok = False
+        if args.expect_slo is not None:
+            status = (telem.slo or {}).get("status", "ok")
+            fired = status != "ok" or bool((telem.slo or {}).get("alerts"))
+            if args.expect_slo == "green" and fired:
+                print(f"FAIL: expected green SLO, got status {status!r}")
+                ok = False
+            elif args.expect_slo == "fired" and not fired:
+                print("FAIL: expected the SLO to fire, but it stayed green")
+                ok = False
+    elif args.expect_slo is not None:
+        print("FAIL: --expect-slo requires --telemetry-port")
         ok = False
     return 0 if ok else 1
 

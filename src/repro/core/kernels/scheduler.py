@@ -175,6 +175,11 @@ class LevelSyncScheduler:
         #: kernels but never closes the backend (the creator owns it).
         self.backend = backend
         backend.mount(kernels)
+        # A traced scheduler pulls the backend's worker telemetry into
+        # its own sinks; untraced schedulers leave the backend alone so
+        # a shared backend keeps reporting to whoever wanted it.
+        if self.tracer.enabled or self.metrics.enabled:
+            backend.attach_telemetry(self.tracer, self.metrics)
 
     def run(
         self,
@@ -183,8 +188,13 @@ class LevelSyncScheduler:
         faults=None,
         checkpointer=None,
         resume=None,
+        span_attrs=None,
     ) -> BFSRunResult:
         """Run one BFS from ``root``; returns the validated-shape result.
+
+        ``span_attrs`` (a dict) merges extra attributes — e.g. a serving
+        trace id — into the root ``bfs`` span; pure labeling, never read
+        by the loop.
 
         Resilience hooks (all default-off, leaving the fault-free path
         bit-identical):
@@ -247,7 +257,7 @@ class LevelSyncScheduler:
                 checkpointer.charge_restore(ledger, resume)
             metrics.counter("bfs_resumes").inc()
 
-        with tracer.span("bfs", category="bfs", root=root):
+        with tracer.span("bfs", category="bfs", root=root, **(span_attrs or {})):
             try:
                 self._level_loop(
                     host, ledger, parent, visited, active, iterations,
@@ -375,6 +385,7 @@ class LevelSyncScheduler:
         faults=None,
         checkpointer=None,
         resume=None,
+        span_attrs=None,
     ):
         """Run a bound :class:`~repro.core.programs.base.VertexProgram`
         through the mounted kernel set.
@@ -423,7 +434,10 @@ class LevelSyncScheduler:
                 checkpointer.charge_restore(ledger, resume)
             metrics.counter("program_resumes", program=program.name).inc()
 
-        with tracer.span("program", category="bfs", program=program.name):
+        with tracer.span(
+            "program", category="bfs", program=program.name,
+            **(span_attrs or {}),
+        ):
             try:
                 self._program_loop(
                     program, host, ledger, active, records, start_it,
@@ -549,7 +563,7 @@ class LevelSyncScheduler:
     # batched (multi-source) waves
     # ------------------------------------------------------------------
 
-    def run_batch(self, roots, *, faults=None) -> BatchRunState:
+    def run_batch(self, roots, *, faults=None, span_attrs=None) -> BatchRunState:
         """Run up to 64 BFS lanes as one level-synchronous traversal.
 
         Each *wave* advances every live lane by one level: the host
@@ -584,7 +598,10 @@ class LevelSyncScheduler:
         metrics.counter("msbfs_batches").inc()
         metrics.histogram("msbfs_batch_lanes").observe(lanes.num_lanes)
 
-        with tracer.span("msbfs", category="bfs", lanes=lanes.num_lanes):
+        with tracer.span(
+            "msbfs", category="bfs", lanes=lanes.num_lanes,
+            **(span_attrs or {}),
+        ):
             try:
                 for it in range(host.config.max_iterations):
                     if faults is not None:

@@ -20,6 +20,11 @@ from the host), with per-span counters for bytes, messages, and edges.
 - :mod:`repro.obs.report` — the ``RunReport`` artifact (schema-versioned
   JSON with a config fingerprint) and the ``compare_reports``
   perf-regression gate behind ``python -m repro compare``.
+- :mod:`repro.obs.timeline` — the live plane's ring-buffer sampler:
+  periodic registry snapshots (queue depth, batch occupancy, cache hit
+  rate, worker utilization) for mid-run time-series.
+- :mod:`repro.obs.slo` — rolling-window burn-rate monitoring of the
+  staged serving-latency histograms, with typed alert records.
 
 Produce a trace by passing ``tracer=Tracer()`` to
 :class:`~repro.core.engine.DistributedBFS`,
@@ -30,6 +35,7 @@ for a worked example.
 """
 
 from repro.obs.export import (
+    build_track_table,
     render_flame,
     span_aggregates,
     to_chrome_trace,
@@ -38,11 +44,14 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     NULL_METRICS,
+    PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
     NullMetricsRegistry,
     registry_to_json,
     to_prometheus_text,
 )
+from repro.obs.slo import SLOAlert, SLOMonitor, SLOSpec, parse_slo_spec
+from repro.obs.timeline import TelemetrySampler
 from repro.obs.report import (
     RunReport,
     bfs_smoke_report,
@@ -69,7 +78,14 @@ __all__ = [
     "compare_reports",
     "to_chrome_trace",
     "write_chrome_trace",
+    "build_track_table",
     "render_flame",
     "span_aggregates",
     "write_span_csv",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TelemetrySampler",
+    "SLOSpec",
+    "SLOAlert",
+    "SLOMonitor",
+    "parse_slo_spec",
 ]

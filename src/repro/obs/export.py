@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from collections import defaultdict
 from typing import TYPE_CHECKING
 
@@ -29,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "build_track_table",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_flame",
@@ -59,6 +61,73 @@ def _span_path(tracer: "Tracer") -> dict[int, str]:
 # ----------------------------------------------------------------------
 
 
+#: Track groups (Chrome ``pid``) in fixed order: the main process, one
+#: lane per mesh rank, one lane per backend worker, one lane per served
+#: request.  A span lands in the most specific group its attrs name.
+_TRACK_GROUPS = ("main", "rank", "worker", "request")
+_TRACK_ATTRS = {"rank": "rank", "worker": "worker", "request": "trace_id"}
+
+
+def _track_key(span: "Span") -> tuple[str, object]:
+    """(group, lane value) a span renders on, from its attrs."""
+    attrs = span.attrs
+    if "worker" in attrs:
+        return ("worker", attrs["worker"])
+    if "rank" in attrs:
+        return ("rank", attrs["rank"])
+    if "trace_id" in attrs:
+        return ("request", attrs["trace_id"])
+    return ("main", 0)
+
+
+def _lane_sort_key(value) -> tuple:
+    """Numeric lanes in numeric order, everything else lexicographic."""
+    try:
+        return (0, float(value), "")
+    except (TypeError, ValueError):
+        return (1, 0.0, str(value))
+
+
+def build_track_table(spans) -> dict[tuple[str, object], tuple[int, int]]:
+    """Deterministic (group, lane) -> (pid, tid) assignment.
+
+    The table depends only on the *set* of tracks present — lanes are
+    sorted within their group — so the same run always renders on the
+    same tracks regardless of completion order.
+    """
+    lanes: dict[str, set] = {g: set() for g in _TRACK_GROUPS}
+    for sp in spans:
+        group, lane = _track_key(sp)
+        lanes[group].add(lane)
+    table: dict[tuple[str, object], tuple[int, int]] = {}
+    for pid, group in enumerate(_TRACK_GROUPS):
+        for tid, lane in enumerate(sorted(lanes[group], key=_lane_sort_key)):
+            table[(group, lane)] = (pid, tid)
+    return table
+
+
+def _track_metadata_events(table) -> list[dict]:
+    """Chrome ``M``-phase events naming every pid/tid the table uses."""
+    events = []
+    named_pids = set()
+    for (group, lane), (pid, tid) in sorted(
+        table.items(), key=lambda kv: kv[1]
+    ):
+        if pid not in named_pids:
+            named_pids.add(pid)
+            label = "repro" if group == "main" else f"{group}s"
+            events.append(
+                {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                 "args": {"name": label}}
+            )
+        label = "main" if group == "main" else f"{group} {lane}"
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": label}}
+        )
+    return events
+
+
 def to_chrome_trace(tracer: "Tracer", *, clock: str = "sim") -> dict:
     """Render the span tree as a Chrome ``trace_event`` document.
 
@@ -67,11 +136,18 @@ def to_chrome_trace(tracer: "Tracer", *, clock: str = "sim") -> dict:
     Timestamps are microseconds, as the format requires.  Every event
     carries its attrs and counters in ``args`` (plus the other clock's
     duration), so nothing recorded is lost in export.
+
+    Tracks: spans tagged with a ``worker``/``rank``/``trace_id`` attr
+    render on their own lane (one Chrome thread per worker, rank, or
+    request) via :func:`build_track_table`, so concurrent work shows
+    side by side instead of stacked on one row.  Untagged spans stay on
+    the main track.
     """
     if clock not in ("sim", "wall"):
         raise ValueError(f"clock must be 'sim' or 'wall', got {clock!r}")
     spans = _closed_spans(tracer)
-    events = []
+    table = build_track_table(spans)
+    events = _track_metadata_events(table)
     wall0 = min((sp.wall_start for sp in spans), default=0.0)
     for sp in spans:
         if clock == "sim":
@@ -82,31 +158,44 @@ def to_chrome_trace(tracer: "Tracer", *, clock: str = "sim") -> dict:
             dur = sp.wall_seconds * 1e6
             other = {"sim_us": round(sp.sim_seconds * 1e6, 6)}
         args = {**sp.attrs, **sp.counters, **other}
+        pid, tid = table[_track_key(sp)]
         events.append(
             {
                 "name": sp.name,
                 "cat": sp.category,
                 "ph": "X",
-                "pid": 0,
-                "tid": 0,
+                "pid": pid,
+                "tid": tid,
                 "ts": round(ts, 6),
                 "dur": round(dur, 6),
                 "args": args,
             }
         )
+    tracks = {
+        f"{pid}/{tid}": ("main" if group == "main" else f"{group} {lane}")
+        for (group, lane), (pid, tid) in table.items()
+    }
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"generator": "repro.obs", "clock": clock},
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": clock,
+            "tracks": tracks,
+        },
     }
 
 
 def write_chrome_trace(tracer: "Tracer", path, *, clock: str = "sim") -> int:
-    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    """Write the Chrome trace JSON to ``path``; returns the span count
+    (track-naming metadata events are not counted)."""
     doc = to_chrome_trace(tracer, clock=clock)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(doc, fh)
-    return len(doc["traceEvents"])
+    return sum(1 for ev in doc["traceEvents"] if ev["ph"] == "X")
 
 
 # ----------------------------------------------------------------------

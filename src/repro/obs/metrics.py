@@ -29,6 +29,7 @@ format) and :func:`registry_to_json` (schema-versioned JSON).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 
 import numpy as np
 
@@ -47,6 +48,10 @@ __all__ = [
 
 #: Version tag of the JSON metrics export.
 METRICS_SCHEMA = "repro.metrics/1"
+
+#: HTTP Content-Type of the text exposition format (what a Prometheus
+#: scraper expects from a ``/metrics`` endpoint).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def exponential_buckets(
@@ -122,7 +127,18 @@ class Histogram:
         self.max = -math.inf
 
     def observe(self, value: float) -> None:
-        self.observe_many(np.asarray([value], dtype=np.float64))
+        # Scalar fast path: bisect on the bounds tuple is ~20x cheaper
+        # than routing one value through the vectorized numpy path, and
+        # single observations are the telemetry hot path (one per
+        # dispatch / request stage).
+        v = float(value)
+        self.bucket_counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
 
     def observe_many(self, values: np.ndarray) -> None:
         """Vectorized observation of a whole array (e.g. a per-rank
@@ -406,11 +422,24 @@ def _fmt_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash,
+    double quote, and line feed."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + body + "}"
 
 

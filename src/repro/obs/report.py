@@ -43,6 +43,7 @@ __all__ = [
     "MetricDelta",
     "config_fingerprint",
     "wallclock_metrics",
+    "worker_telemetry_metrics",
     "report_from_bfs",
     "report_from_graph500",
     "report_from_serve",
@@ -96,6 +97,63 @@ def wallclock_metrics(tracer, *, num_edges: int | None = None) -> dict:
         out["wallclock.gteps"] = (
             float(num_edges) * len(spans) / seconds / 1e9
         )
+    return out
+
+
+def worker_telemetry_metrics(registry) -> dict:
+    """``worker.*`` metrics from a parallel backend's telemetry.
+
+    Reads the ``worker_busy_seconds`` / ``worker_idle_seconds`` /
+    ``worker_tasks`` counter families and the per-dispatch
+    ``worker_chunk_skew`` histogram that a telemetry-attached shared-
+    memory backend populates.  Per worker ``w``, ``worker.utilization.w``
+    is busy / (busy + idle + attach) — the fraction of its measured
+    lifetime spent in chunk bodies.  ``worker.chunk_skew_mean`` averages
+    the per-dispatch max/mean busy-time ratio (1.0 = perfectly balanced
+    chunks).  Empty when no worker telemetry was recorded.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    if not isinstance(registry, MetricsRegistry):
+        return {}
+    families = registry.families()
+    if "worker_busy_seconds" not in families:
+        return {}
+    busy: dict[str, float] = {}
+    idle: dict[str, float] = {}
+    attach: dict[str, float] = {}
+    tasks: dict[str, float] = {}
+    for target, family in (
+        (busy, "worker_busy_seconds"),
+        (idle, "worker_idle_seconds"),
+        (attach, "worker_attach_seconds"),
+        (tasks, "worker_tasks"),
+    ):
+        if family not in families:
+            continue
+        for labels, inst in registry.samples(family):
+            wid = str(labels.get("worker", "?"))
+            target[wid] = target.get(wid, 0.0) + float(inst.value)
+    out: dict = {
+        "worker.count": float(len(busy)),
+        "worker.busy_seconds_total": float(sum(busy.values())),
+        "worker.tasks_total": float(sum(tasks.values())),
+    }
+    for wid in sorted(busy, key=lambda w: (len(w), w)):
+        span = busy[wid] + idle.get(wid, 0.0) + attach.get(wid, 0.0)
+        out[f"worker.busy_seconds.{wid}"] = float(busy[wid])
+        out[f"worker.utilization.{wid}"] = (
+            float(busy[wid] / span) if span > 0.0 else 0.0
+        )
+    if "worker_chunk_skew" in families:
+        total = count = 0.0
+        for _labels, inst in registry.samples("worker_chunk_skew"):
+            s = inst.summary()
+            total += float(s.get("sum", 0.0))
+            count += float(s.get("count", 0.0))
+        if count:
+            out["worker.chunk_skew_mean"] = total / count
+            out["worker.dispatches"] = count
     return out
 
 

@@ -45,6 +45,18 @@ class ExecutionBackend(ABC):
         additive — a backend may serve several kernel sets at once.
         """
 
+    def attach_telemetry(self, tracer, metrics) -> None:
+        """Hand the backend a tracer/registry to report worker work into.
+
+        Default: ignore — the simulated backend runs in-process, so the
+        scheduler's own spans already cover its work.  Parallel backends
+        override this to merge worker-measured wall-clock spans and
+        ``worker_*`` metric families into the given sinks.  Schedulers
+        call it at construction whenever they were built with telemetry
+        enabled; the latest attach wins (a backend shared by several
+        engines reports into whichever traced engine mounted last).
+        """
+
     @abstractmethod
     def execute(self, kernel, direction, active, visited, ledger, record):
         """Run one BFS sub-iteration; same contract as

@@ -48,6 +48,8 @@ from repro.core.subgraphs import (
     dedup_lane_hits,
     dedup_pull_hits,
 )
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.backends.base import ExecutionBackend
 from repro.runtime.backends.shmem_worker import (
     mask_segment_size,
@@ -56,6 +58,10 @@ from repro.runtime.backends.shmem_worker import (
 )
 
 __all__ = ["SharedMemoryBackend", "BackendWorkerError", "SEGMENT_PREFIX"]
+
+#: Buckets for the per-dispatch chunk skew ratio (max/mean busy seconds
+#: over one fan-out; 1.0 = perfectly balanced).
+SKEW_BUCKETS = (1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
 
 #: Every segment this backend creates carries this name prefix, so leak
 #: checks can enumerate ``/dev/shm`` for leftovers.
@@ -194,6 +200,9 @@ class SharedMemoryBackend(ExecutionBackend):
         self._epoch = 0
         self._closed = False
         self._atexit_registered = False
+        self._tracer = NULL_TRACER
+        self._metrics = NULL_METRICS
+        self._telem_counters = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -221,15 +230,28 @@ class SharedMemoryBackend(ExecutionBackend):
             atexit.register(self.close)
             self._atexit_registered = True
 
+    def attach_telemetry(self, tracer, metrics) -> None:
+        """Report worker wall-clock work into ``tracer``/``metrics``.
+
+        Chunk results always carry their timing stamps; attaching sinks
+        only changes what the parent does with them, so execution — and
+        therefore every payload — is bit-identical either way.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        # Per-(worker, op) instrument cache: registry lookups build label
+        # keys, which is per-chunk overhead the hot path can't afford.
+        self._telem_counters = {}
+
     def _ensure_pool(self) -> None:
         if self._procs:
             return
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
-        for _ in range(self._workers):
+        for wid in range(self._workers):
             proc = self._ctx.Process(
                 target=worker_main,
-                args=(self._task_q, self._result_q),
+                args=(self._task_q, self._result_q, wid),
                 daemon=True,
             )
             proc.start()
@@ -315,6 +337,7 @@ class SharedMemoryBackend(ExecutionBackend):
                 (epoch, chunk_id, op, table.meta, masks_meta, lo, hi, group)
             )
         results = [None] * len(chunks)
+        telems = [None] * len(chunks)
         pending = len(chunks)
         deadline = time.monotonic() + self._task_timeout
         while pending:
@@ -334,7 +357,7 @@ class SharedMemoryBackend(ExecutionBackend):
                         f"{self._task_timeout:.0f}s"
                     ) from None
                 continue
-            kind, r_epoch, chunk_id, payload = msg
+            kind, r_epoch, chunk_id, payload, telem = msg
             if r_epoch != epoch:
                 continue  # stale result of an earlier, failed call
             if kind == "err":
@@ -342,8 +365,84 @@ class SharedMemoryBackend(ExecutionBackend):
                     f"shmem worker failed on {op!r}:\n{payload}"
                 )
             results[chunk_id] = payload
+            telems[chunk_id] = telem
             pending -= 1
+        if self._tracer.enabled or self._metrics.enabled:
+            self._record_telemetry(op, telems)
         return results
+
+    def _record_telemetry(self, op, telems) -> None:
+        """Replay one dispatch's worker stamps as spans and metrics.
+
+        The ``chunk`` span's ``busy_seconds`` counter and the
+        ``worker_busy_seconds`` metric are incremented from the same
+        ``body_end - body_start`` value, so per-worker sums of the two
+        agree exactly by construction.
+        """
+        tracer, metrics = self._tracer, self._metrics
+        trace = tracer.enabled
+        meter = metrics.enabled
+        cache = self._telem_counters
+        busy = []
+        for chunk_id, telem in enumerate(telems):
+            if telem is None:
+                continue
+            wid, body_start, body_end, idle_s, attach_s = telem
+            busy_s = body_end - body_start
+            busy.append(busy_s)
+            if trace:
+                if idle_s > 0.0:
+                    tracer.record_external(
+                        "idle-wait",
+                        category="worker",
+                        wall_start=body_start - attach_s - idle_s,
+                        wall_end=body_start - attach_s,
+                        worker=wid,
+                    )
+                if attach_s > 1e-6:
+                    tracer.record_external(
+                        "attach",
+                        category="worker",
+                        wall_start=body_start - attach_s,
+                        wall_end=body_start,
+                        worker=wid,
+                    )
+                tracer.record_external(
+                    "chunk",
+                    category="worker",
+                    wall_start=body_start,
+                    wall_end=body_end,
+                    worker=wid,
+                    op=op,
+                    chunk=chunk_id,
+                    counters={"busy_seconds": busy_s},
+                )
+            if meter:
+                counters = cache.get((wid, op))
+                if counters is None:
+                    counters = cache[(wid, op)] = (
+                        metrics.counter("worker_busy_seconds", worker=wid),
+                        metrics.counter("worker_idle_seconds", worker=wid),
+                        metrics.counter("worker_attach_seconds", worker=wid),
+                        metrics.counter("worker_tasks", worker=wid, op=op),
+                    )
+                counters[0].inc(busy_s)
+                counters[1].inc(idle_s)
+                counters[2].inc(attach_s)
+                counters[3].inc()
+        if busy and meter:
+            mean = sum(busy) / len(busy)
+            skew = (max(busy) / mean) if mean > 0.0 else 1.0
+            dispatch = cache.get(("__dispatch__", op))
+            if dispatch is None:
+                dispatch = cache[("__dispatch__", op)] = (
+                    metrics.histogram(
+                        "worker_chunk_skew", buckets=SKEW_BUCKETS
+                    ),
+                    metrics.counter("backend_dispatches", op=op),
+                )
+            dispatch[0].observe(skew)
+            dispatch[1].inc()
 
     # ------------------------------------------------------------------
     # chunk merging — concatenation in chunk order IS full-range order

@@ -15,12 +15,24 @@ frozen arrays, ``masks_meta`` is ``(segment_name, num_vertices)`` for the
 dynamic mask buffers (fixed layout, see :func:`mask_views`).  Segments
 are attached lazily and cached by name, so the parent may mount new
 components after the pool has started.
+
+Result tuples are ``(kind, epoch, chunk_id, payload, telem)`` where
+``telem = (worker_id, body_start, body_end, idle_seconds,
+attach_seconds)`` — ``perf_counter`` stamps of the body execution plus
+the seconds this worker spent blocked on the task queue and attaching
+segments before it.  ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux,
+so the stamps are directly comparable with the parent's and the main
+tracer can replay them as per-worker spans.  Telemetry is always
+measured (five floats per task, negligible next to any body) so the
+task protocol does not fork on a telemetry flag; the parent simply
+drops ``telem`` when no tracer/metrics are attached.
 """
 
 from __future__ import annotations
 
 import traceback
 from multiprocessing import shared_memory
+from time import perf_counter
 
 import numpy as np
 
@@ -218,22 +230,37 @@ def _run_op(op, arrays, masks, lo, hi, group):
     raise ValueError(f"unknown worker op {op!r}")
 
 
-def worker_main(task_q, result_q) -> None:
+def worker_main(task_q, result_q, worker_id: int = 0) -> None:
     """Blocking worker loop; exits on a ``None`` task."""
     _disable_segment_tracking()
     cache = _SegmentCache()
     try:
         while True:
+            wait_start = perf_counter()
             task = task_q.get()
+            got = perf_counter()
             if task is None:
                 return
             epoch, chunk_id, op, table_meta, masks_meta, lo, hi, group = task
             try:
                 arrays = cache.table(table_meta)
                 masks = cache.masks(masks_meta)
+                body_start = perf_counter()
                 payload = _run_op(op, arrays, masks, lo, hi, group)
-                result_q.put(("ok", epoch, chunk_id, payload))
+                body_end = perf_counter()
+                telem = (
+                    worker_id,
+                    body_start,
+                    body_end,
+                    got - wait_start,
+                    body_start - got,
+                )
+                result_q.put(("ok", epoch, chunk_id, payload, telem))
             except Exception:
-                result_q.put(("err", epoch, chunk_id, traceback.format_exc()))
+                now = perf_counter()
+                telem = (worker_id, got, now, got - wait_start, 0.0)
+                result_q.put(
+                    ("err", epoch, chunk_id, traceback.format_exc(), telem)
+                )
     finally:
         cache.release()

@@ -14,6 +14,9 @@ Layers (each usable on its own):
   crash replay.
 - :mod:`repro.serve.workload` — the seeded closed-loop client generator
   the CI smoke and benchmarks drive the service with.
+- :mod:`repro.serve.telemetry` — the live scrape surface: an asyncio
+  HTTP endpoint exposing ``/metrics`` (Prometheus text), ``/healthz``,
+  ``/slo``, ``/timeline``, and per-request ``/trace/<id>``.
 """
 
 from repro.serve.cache import ResultCache, fingerprint_graph
@@ -23,7 +26,14 @@ from repro.serve.msbfs import (
     MultiSourceBFS,
     run_batch_with_recovery,
 )
-from repro.serve.service import Overloaded, TraversalError, TraversalService
+from repro.serve.service import (
+    LatencyReservoir,
+    Overloaded,
+    RequestTimeline,
+    TraversalError,
+    TraversalService,
+)
+from repro.serve.telemetry import TelemetryServer
 
 __all__ = [
     "MAX_BATCH_ROOTS",
@@ -35,4 +45,7 @@ __all__ = [
     "Overloaded",
     "TraversalError",
     "TraversalService",
+    "RequestTimeline",
+    "LatencyReservoir",
+    "TelemetryServer",
 ]

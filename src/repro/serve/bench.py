@@ -47,6 +47,8 @@ def build_serving_pair(
     e_threshold: int | None = None,
     h_threshold: int | None = None,
     backend=None,
+    tracer=None,
+    metrics=None,
 ):
     """Build the (sequential engine, batch engine) pair over one graph.
 
@@ -54,6 +56,9 @@ def build_serving_pair(
     difference between them is the batching itself.  A ``backend`` is
     shared by both engines (mounting is additive and deduplicated by
     component, so the pair costs one set of shared segments).
+    ``tracer``/``metrics`` (optional) attach to the batched engine —
+    the serving side — so worker telemetry and scheduler spans land in
+    the caller's sinks.
     """
     from repro.analysis.experiments import tuned_thresholds
     from repro.core.config import BFSConfig
@@ -82,8 +87,13 @@ def build_serving_pair(
     sequential = DistributedBFS(
         part, machine=machine, config=config, backend=backend
     )
+    extra = {}
+    if tracer is not None:
+        extra["tracer"] = tracer
+    if metrics is not None:
+        extra["metrics"] = metrics
     batched = MultiSourceBFS(
-        part, machine=machine, config=config, backend=backend
+        part, machine=machine, config=config, backend=backend, **extra
     )
     return sequential, batched
 

@@ -221,16 +221,19 @@ class MultiSourceBFS(SchedulerHost):
     # public API
     # ------------------------------------------------------------------
 
-    def run_batch(self, roots, *, faults=None) -> MSBFSResult:
+    def run_batch(self, roots, *, faults=None, span_attrs=None) -> MSBFSResult:
         """Traverse up to 64 distinct roots as one batched wave sequence.
 
         ``faults`` forwards the scheduler's injector hook; a crash fault
         aborts the whole batch with a
         :class:`~repro.resilience.faults.RankCrashError` (recover with
         :func:`run_batch_with_recovery`, or let the service replay the
-        batch from its queue).
+        batch from its queue).  ``span_attrs`` merges extra attributes
+        (the service's request trace ids) into the ``msbfs`` span.
         """
-        state: BatchRunState = self.scheduler.run_batch(roots, faults=faults)
+        state: BatchRunState = self.scheduler.run_batch(
+            roots, faults=faults, span_attrs=span_attrs
+        )
         return MSBFSResult(
             roots=state.lanes.roots,
             parent=state.lanes.parent,

@@ -25,6 +25,16 @@ Latency is observed per request into ``serve_latency_seconds`` — one
 histogram per ``stage`` label: ``queue`` (submit → popped into a forming
 batch), ``batch`` (popped → traversal start, the batching-window cost),
 ``traversal`` (engine wall time), ``total`` (submit → resolve).
+
+Every request is also assigned a **trace id** (``req-000001``, ...) at
+admission.  The id rides on the response, keys a bounded ring of
+:class:`RequestTimeline` records retrievable via
+:meth:`TraversalService.request_timeline`, and — when the service was
+built with a ``tracer`` — is merged into the scheduler's ``msbfs`` span
+attrs, so the Chrome trace renders each served batch on a per-request
+track.  A timeline's ``total_seconds`` is the *same float* observed
+into ``serve_latency_seconds{stage="total"}``, so the two surfaces
+always reconcile.
 """
 
 from __future__ import annotations
@@ -33,11 +43,12 @@ import asyncio
 import functools
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.obs.metrics import NULL_METRICS, exponential_buckets
+from repro.obs.tracer import NULL_TRACER
 from repro.resilience.faults import RankCrashError
 from repro.serve.cache import ResultCache, fingerprint_graph
 
@@ -47,11 +58,58 @@ __all__ = [
     "TraversalResponse",
     "TraversalService",
     "ServeStats",
+    "LatencyReservoir",
+    "RequestTimeline",
     "LATENCY_BUCKETS",
 ]
 
 #: Sub-microsecond to ~9-minute wall-latency buckets.
 LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 40)
+
+
+class LatencyReservoir:
+    """Fixed-size uniform sample of an unbounded latency stream.
+
+    Vitter's Algorithm R: the first ``capacity`` values are kept, after
+    which each new value replaces a random slot with probability
+    ``capacity / seen`` — at any point the kept set is a uniform sample
+    of everything appended, so percentiles stay stable under sustained
+    traffic while memory stays O(capacity).  The RNG is seeded, so a
+    replayed request sequence samples identically.
+    """
+
+    __slots__ = ("capacity", "_values", "_seen", "_rng")
+
+    def __init__(self, capacity: int = 4096, *, seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._values: list[float] = []
+        self._seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    def append(self, value: float) -> None:
+        self._seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    @property
+    def seen(self) -> int:
+        """Values ever appended (``>= len(self)``)."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __array__(self, dtype=None, copy=None):
+        return np.asarray(self._values, dtype=dtype)
 
 
 class Overloaded(RuntimeError):
@@ -74,10 +132,37 @@ class TraversalError(RuntimeError):
 
 
 @dataclass
+class RequestTimeline:
+    """Staged wall-clock breakdown of one served request, by trace id.
+
+    ``total_seconds`` is exactly the value observed into
+    ``serve_latency_seconds{stage="total"}`` for this request (cache
+    hits observe only ``total``; failed requests observe nothing and
+    record zeros here).
+    """
+
+    trace_id: str
+    root: int
+    program: str = "bfs"
+    #: ``completed`` | ``cached`` | ``failed``
+    status: str = "completed"
+    batch_lanes: int = 0
+    queue_seconds: float = 0.0
+    batch_seconds: float = 0.0
+    traversal_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
 class TraversalResponse:
     """One served query."""
 
     root: int
+    #: Request-scoped trace id (keys :meth:`TraversalService.request_timeline`).
+    trace_id: str = ""
     parent: np.ndarray | None = field(repr=False, default=None)
     cached: bool = False
     #: Lanes in the batch that served it (0 for cache hits).
@@ -114,7 +199,12 @@ class ServeStats:
     #: Non-BFS vertex-program queries served (subset of ``completed``).
     program_runs: int = 0
     sim_seconds_total: float = 0.0
-    total_latencies: list = field(default_factory=list, repr=False)
+    #: Bounded uniform sample of per-request total latencies — the
+    #: percentile source.  Appends like a list; never grows past its
+    #: capacity under sustained traffic.
+    total_latencies: LatencyReservoir = field(
+        default_factory=LatencyReservoir, repr=False
+    )
 
     @property
     def mean_batch_size(self) -> float:
@@ -127,7 +217,7 @@ class ServeStats:
         )
 
     def latency_percentile(self, q: float) -> float:
-        if not self.total_latencies:
+        if not len(self.total_latencies):
             return 0.0
         return float(np.percentile(np.asarray(self.total_latencies), q))
 
@@ -150,6 +240,7 @@ class _Request:
     root: int
     future: asyncio.Future = field(repr=False)
     submitted_at: float
+    trace_id: str = ""
     popped_at: float = 0.0
     attempts: int = 0
 
@@ -171,7 +262,9 @@ class TraversalService:
         max_replays: int = 2,
         faults=None,
         metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
         clock=time.monotonic,
+        timeline_capacity: int = 1024,
     ) -> None:
         from repro.serve.msbfs import MAX_BATCH_ROOTS
 
@@ -188,7 +281,13 @@ class TraversalService:
         self.max_replays = int(max_replays)
         self._faults = faults
         self._metrics = metrics
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
+        # Request-scoped tracing: a monotonic trace-id sequence and a
+        # bounded (oldest-evicted) trace_id -> RequestTimeline ring.
+        self._trace_seq = 0
+        self._timeline_capacity = int(timeline_capacity)
+        self._timelines: "OrderedDict[str, RequestTimeline]" = OrderedDict()
         self._cache = (
             ResultCache(metrics=metrics) if cache is _DEFAULT_CACHE else cache
         )
@@ -210,6 +309,20 @@ class TraversalService:
     @property
     def graph_fingerprint(self) -> str:
         return self._fingerprint
+
+    def _next_trace_id(self) -> str:
+        self._trace_seq += 1
+        return f"req-{self._trace_seq:06d}"
+
+    def _record_timeline(self, timeline: RequestTimeline) -> None:
+        self._timelines[timeline.trace_id] = timeline
+        while len(self._timelines) > self._timeline_capacity:
+            self._timelines.popitem(last=False)
+
+    def request_timeline(self, trace_id: str) -> RequestTimeline | None:
+        """The staged timeline of a recently served request, or ``None``
+        once it aged out of the bounded ring (or never existed)."""
+        return self._timelines.get(trace_id)
 
     @property
     def pending(self) -> int:
@@ -286,6 +399,7 @@ class TraversalService:
         if not 0 <= root < self.engine.num_vertices:
             raise ValueError(f"root {root} out of range")
         t0 = self._clock()
+        trace_id = self._next_trace_id()
         self.stats.requests += 1
         if self._cache is not None:
             parent = self._cache.get(self._fingerprint, root)
@@ -295,15 +409,29 @@ class TraversalService:
                 self.stats.total_latencies.append(total)
                 self._metrics.counter("serve_requests", outcome="cached").inc()
                 self._observe("total", total)
+                self._record_timeline(
+                    RequestTimeline(
+                        trace_id=trace_id,
+                        root=root,
+                        status="cached",
+                        total_seconds=total,
+                    )
+                )
                 return TraversalResponse(
-                    root=root, parent=parent, cached=True, total_seconds=total
+                    root=root,
+                    trace_id=trace_id,
+                    parent=parent,
+                    cached=True,
+                    total_seconds=total,
                 )
         if len(self._queue) >= self.queue_depth:
             self.stats.shed += 1
             self._metrics.counter("serve_requests", outcome="shed").inc()
             raise Overloaded(len(self._queue), self.queue_depth)
         future = asyncio.get_running_loop().create_future()
-        request = _Request(root=root, future=future, submitted_at=t0)
+        request = _Request(
+            root=root, future=future, submitted_at=t0, trace_id=trace_id
+        )
         self._queue.append(request)
         self.stats.admitted += 1
         self._metrics.gauge("serve_queue_depth").set(len(self._queue))
@@ -361,6 +489,7 @@ class TraversalService:
             raise ValueError(f"program {program!r} does not take a root")
 
         t0 = self._clock()
+        trace_id = self._next_trace_id()
         self.stats.requests += 1
         cacheable = not params
         key = (self._fingerprint, program, -1 if root is None else root)
@@ -376,8 +505,18 @@ class TraversalService:
                     "serve_programs", program=program, outcome="cached"
                 ).inc()
                 self._observe("total", total)
+                self._record_timeline(
+                    RequestTimeline(
+                        trace_id=trace_id,
+                        root=-1 if root is None else root,
+                        program=program,
+                        status="cached",
+                        total_seconds=total,
+                    )
+                )
                 return TraversalResponse(
                     root=-1 if root is None else root,
+                    trace_id=trace_id,
                     parent=hit["state"].get("parent"),
                     cached=True,
                     total_seconds=total,
@@ -403,6 +542,9 @@ class TraversalService:
         self._inflight_programs += 1
         self.stats.admitted += 1
         attempts = 0
+        run_kwargs = {"faults": self._faults}
+        if self._tracer.enabled:
+            run_kwargs["span_attrs"] = {"trace_id": trace_id}
         try:
             while True:
                 prog = build_program(program, engine.part, **run_params)
@@ -411,7 +553,7 @@ class TraversalService:
                     result = await loop.run_in_executor(
                         None,
                         functools.partial(
-                            engine.run_program, prog, faults=self._faults
+                            engine.run_program, prog, **run_kwargs
                         ),
                     )
                     break
@@ -428,6 +570,14 @@ class TraversalService:
                         self._metrics.counter(
                             "serve_programs", program=program, outcome="failed"
                         ).inc()
+                        self._record_timeline(
+                            RequestTimeline(
+                                trace_id=trace_id,
+                                root=-1 if root is None else root,
+                                program=program,
+                                status="failed",
+                            )
+                        )
                         raise TraversalError(
                             f"program {program!r} query failed after "
                             f"{self.max_replays} replays (injected rank "
@@ -462,8 +612,18 @@ class TraversalService:
         ).inc()
         self._observe("traversal", traversal)
         self._observe("total", total)
+        self._record_timeline(
+            RequestTimeline(
+                trace_id=trace_id,
+                root=-1 if root is None else root,
+                program=program,
+                traversal_seconds=traversal,
+                total_seconds=total,
+            )
+        )
         return TraversalResponse(
             root=-1 if root is None else root,
+            trace_id=trace_id,
             parent=result.state.get("parent"),
             traversal_seconds=traversal,
             total_seconds=total,
@@ -527,11 +687,15 @@ class TraversalService:
             by_root.setdefault(request.root, []).append(request)
         roots = np.array(sorted(by_root), dtype=np.int64)
         loop = asyncio.get_running_loop()
+        run_kwargs = {"faults": self._faults}
+        if self._tracer.enabled:
+            trace_ids = sorted(r.trace_id for r in batch if r.trace_id)
+            run_kwargs["span_attrs"] = {"trace_id": ",".join(trace_ids)}
         try:
             result = await loop.run_in_executor(
                 None,
                 functools.partial(
-                    self.engine.run_batch, roots, faults=self._faults
+                    self.engine.run_batch, roots, **run_kwargs
                 ),
             )
         except RankCrashError:
@@ -556,6 +720,13 @@ class TraversalService:
                 len(batch)
             )
             for request in batch:
+                self._record_timeline(
+                    RequestTimeline(
+                        trace_id=request.trace_id,
+                        root=request.root,
+                        status="failed",
+                    )
+                )
                 if not request.future.done():
                     request.future.set_exception(error)
             return
@@ -584,10 +755,22 @@ class TraversalService:
                 self._metrics.counter(
                     "serve_requests", outcome="completed"
                 ).inc()
+                self._record_timeline(
+                    RequestTimeline(
+                        trace_id=request.trace_id,
+                        root=root,
+                        batch_lanes=result.num_lanes,
+                        queue_seconds=queue_wait,
+                        batch_seconds=batch_wait,
+                        traversal_seconds=traversal,
+                        total_seconds=total,
+                    )
+                )
                 if not request.future.done():
                     request.future.set_result(
                         TraversalResponse(
                             root=root,
+                            trace_id=request.trace_id,
                             parent=parent,
                             batch_lanes=result.num_lanes,
                             queue_wait=queue_wait,

@@ -36,6 +36,8 @@ __all__ = [
     "run_serving_session",
     "QueryOutcome",
     "WorkloadReport",
+    "TelemetrySummary",
+    "http_get",
 ]
 
 
@@ -204,24 +206,156 @@ async def run_workload(
     return WorkloadReport(outcomes=outcomes)
 
 
+@dataclass
+class TelemetrySummary:
+    """What the live plane saw over one serving session."""
+
+    port: int = 0
+    #: Successful self-scrapes per endpoint path.
+    scrapes: dict = field(default_factory=dict)
+    #: Snapshots the sampler took.
+    samples: int = 0
+    #: Final :meth:`~repro.obs.slo.SLOMonitor.evaluate` document.
+    slo: dict | None = None
+    #: Last ``/metrics`` response body (bytes), for export parity checks.
+    last_metrics_body: bytes = b""
+
+
+async def http_get(
+    host: str, port: int, path: str, *, timeout: float = 5.0
+) -> tuple[int, dict, bytes]:
+    """Tiny dependency-free HTTP GET: ``(status, headers, body)``.
+
+    Enough client for the telemetry endpoint and the CI smoke scraper;
+    not a general HTTP client (no redirects, no chunked encoding).
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+async def _scrape_loop(
+    summary: TelemetrySummary, host: str, port: int, interval: float
+) -> None:
+    """Poll ``/metrics`` and ``/healthz`` until cancelled, counting
+    successful scrapes — the CI smoke's evidence the plane is live."""
+    while True:
+        for path in ("/metrics", "/healthz"):
+            try:
+                status, _, body = await http_get(host, port, path)
+            except (OSError, TimeoutError, ValueError):
+                continue
+            if status == 200:
+                summary.scrapes[path] = summary.scrapes.get(path, 0) + 1
+                if path == "/metrics":
+                    summary.last_metrics_body = body
+        await asyncio.sleep(interval)
+
+
 def run_serving_session(
     engine,
     roots,
     *,
     clients: int = 4,
     expected: dict | None = None,
+    telemetry: dict | None = None,
     **service_kwargs,
-) -> tuple[WorkloadReport, TraversalService]:
+):
     """Synchronous convenience: build a service around ``engine``, run
     the workload to completion, stop the service, and return both the
-    workload report and the (stopped) service for stats inspection."""
+    workload report and the (stopped) service for stats inspection.
 
-    async def main() -> tuple[WorkloadReport, TraversalService]:
+    ``telemetry`` (optional) starts the live plane for the session and
+    makes the return a 3-tuple ``(report, service, TelemetrySummary)``.
+    Keys: ``port`` (0 = ephemeral), ``interval`` (sampler cadence,
+    seconds), ``slos`` (iterable of :class:`~repro.obs.slo.SLOSpec`),
+    ``scrape`` (self-scrape ``/metrics`` + ``/healthz`` during the run,
+    default ``True``).  Requires ``metrics=`` a real registry in
+    ``service_kwargs``.
+    """
+
+    async def main():
         service = TraversalService(engine, **service_kwargs)
-        async with service:
-            report = await run_workload(
-                service, roots, clients=clients, expected=expected
+        if telemetry is None:
+            async with service:
+                report = await run_workload(
+                    service, roots, clients=clients, expected=expected
+                )
+            return report, service
+
+        from repro.obs.slo import SLOMonitor
+        from repro.obs.timeline import TelemetrySampler
+        from repro.serve.telemetry import TelemetryServer
+
+        registry = service_kwargs.get("metrics")
+        if registry is None or not getattr(registry, "enabled", False):
+            raise ValueError(
+                "telemetry requires metrics= a real MetricsRegistry"
             )
-        return report, service
+        interval = float(telemetry.get("interval", 0.05))
+        sampler = TelemetrySampler(registry, interval=interval)
+        slos = tuple(telemetry.get("slos", ()))
+        monitor = SLOMonitor(registry, slos) if slos else None
+        server = TelemetryServer(
+            service,
+            registry,
+            port=int(telemetry.get("port", 0)),
+            sampler=sampler,
+            slo_monitor=monitor,
+        )
+        summary = TelemetrySummary()
+        async with service:
+            async with server:
+                summary.port = server.port
+                if monitor is not None:
+                    monitor.observe()  # zero baseline for the window delta
+                await sampler.start()
+                scraper = None
+                if telemetry.get("scrape", True):
+                    scraper = asyncio.create_task(
+                        _scrape_loop(
+                            summary, "127.0.0.1", server.port, interval
+                        )
+                    )
+                try:
+                    report = await run_workload(
+                        service, roots, clients=clients, expected=expected
+                    )
+                    # One settled pass so the final state is observable.
+                    await asyncio.sleep(interval)
+                finally:
+                    if scraper is not None:
+                        scraper.cancel()
+                        try:
+                            await scraper
+                        except asyncio.CancelledError:
+                            pass
+                    await sampler.stop()
+                sampler.sample()
+                if monitor is not None:
+                    summary.slo = monitor.evaluate()
+        summary.samples = sampler.taken
+        return report, service, summary
 
     return asyncio.run(main())

@@ -1,0 +1,432 @@
+"""The observability additions behind the live telemetry plane.
+
+Worker-shipped wall spans (``record_external``), the deterministic
+Chrome-trace track table, the ring-buffer sampler, the SLO burn-rate
+monitor, the Prometheus exposition format, and the shmem backend's
+per-worker telemetry — including the acceptance reconciliation between
+per-worker chunk spans and the ``worker_busy_seconds`` counters.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import build_track_table, to_chrome_trace
+from repro.obs.metrics import (
+    NULL_METRICS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    to_prometheus_text,
+)
+from repro.obs.slo import (
+    SLOMonitor,
+    SLOSpec,
+    parse_slo_spec,
+)
+from repro.obs.timeline import TelemetrySampler
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.service import LATENCY_BUCKETS
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# record_external: worker-shipped wall spans
+# ----------------------------------------------------------------------
+
+
+class TestRecordExternal:
+    def test_wall_only_span(self):
+        tracer = Tracer()
+        sp = tracer.record_external(
+            "chunk", wall_start=10.0, wall_end=10.5, worker=3, op="push",
+            counters={"busy_seconds": 0.5},
+        )
+        assert sp.category == "worker"
+        assert sp.wall_seconds == pytest.approx(0.5)
+        assert sp.attrs["worker"] == 3
+        assert sp.counters["busy_seconds"] == pytest.approx(0.5)
+        # External work never advances the simulated clock.
+        assert sp.sim_seconds == 0.0
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            Tracer().record_external("x", wall_start=2.0, wall_end=1.0)
+
+    def test_null_tracer_noop(self):
+        NULL_TRACER.record_external("x", wall_start=0.0, wall_end=1.0)
+        assert len(NULL_TRACER.spans) == 0
+        assert not NULL_TRACER.enabled
+
+
+# ----------------------------------------------------------------------
+# track table (satellite: no more hardcoded pid 0 / tid 0)
+# ----------------------------------------------------------------------
+
+
+class TestTrackTable:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("bfs", category="bfs"):
+            pass
+        tracer.record_external("chunk", wall_start=0.0, wall_end=1.0,
+                               worker=1)
+        tracer.record_external("chunk", wall_start=0.0, wall_end=1.0,
+                               worker=0)
+        with tracer.span("msbfs", category="msbfs", trace_id="req-000001"):
+            pass
+        return tracer
+
+    def test_deterministic_and_grouped(self):
+        tracer = self._spans()
+        table = build_track_table(tracer.spans)
+        # Same set of tracks -> same table, regardless of span order.
+        assert table == build_track_table(list(reversed(tracer.spans)))
+        assert table[("main", 0)][0] != table[("worker", 0)][0]
+        # Workers sort numerically into tids on one pid.
+        w0, w1 = table[("worker", 0)], table[("worker", 1)]
+        assert w0[0] == w1[0] and w0[1] == 0 and w1[1] == 1
+        assert ("request", "req-000001") in table
+
+    def test_chrome_trace_tracks_and_metadata(self):
+        tracer = self._spans()
+        doc = to_chrome_trace(tracer, clock="wall")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e.get("tid")): e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert "worker 0" in names.values()
+        assert "worker 1" in names.values()
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        pids = {e["name"]: (e["pid"], e["tid"]) for e in events}
+        assert pids["chunk"][0] != pids["bfs"][0]
+        assert "tracks" in doc["otherData"]
+
+
+# ----------------------------------------------------------------------
+# sampler
+# ----------------------------------------------------------------------
+
+
+class TestTelemetrySampler:
+    def test_snapshot_contents_and_ring(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        reg.counter("serve_requests", outcome="cached").inc(3)
+        reg.counter("serve_requests", outcome="completed").inc(9)
+        reg.gauge("serve_queue_depth").set(5)
+        reg.histogram("serve_batch_size").observe(4)
+        reg.histogram("serve_batch_size").observe(8)
+        sampler = TelemetrySampler(reg, capacity=2, clock=clock)
+        snap = sampler.sample()
+        assert snap["counters"]["serve_requests"] == 12.0
+        assert snap["derived"]["queue_depth"] == 5.0
+        assert snap["derived"]["cache_hit_rate"] == pytest.approx(0.25)
+        assert snap["derived"]["batch_occupancy"] == pytest.approx(6.0)
+        for _ in range(3):
+            sampler.sample()
+        assert len(sampler.samples) == 2  # ring capacity
+        assert sampler.taken == 4
+        assert sampler.to_dict()["taken"] == 4
+
+    def test_worker_utilization_delta(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        busy = reg.counter("worker_busy_seconds", worker=0)
+        sampler = TelemetrySampler(reg, clock=clock)
+        sampler.sample()
+        busy.inc(0.5)
+        clock.advance(1.0)
+        snap = sampler.sample()
+        util = snap["derived"]["worker_utilization"]
+        assert util["0"] == pytest.approx(0.5)
+        assert snap["derived"]["worker_utilization_mean"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(MetricsRegistry(), capacity=0)
+        with pytest.raises(ValueError):
+            TelemetrySampler(MetricsRegistry(), interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# SLO monitor
+# ----------------------------------------------------------------------
+
+
+def _observe_latency(reg, stage, seconds, n=1):
+    hist = reg.histogram(
+        "serve_latency_seconds", buckets=LATENCY_BUCKETS, stage=stage
+    )
+    for _ in range(n):
+        hist.observe(seconds)
+
+
+class TestSLOMonitor:
+    def test_parse_round_trip(self):
+        spec = parse_slo_spec("total:0.05:0.99:30")
+        assert spec.stage == "total"
+        assert spec.threshold_seconds == pytest.approx(0.05)
+        assert spec.objective == pytest.approx(0.99)
+        assert spec.window_seconds == pytest.approx(30.0)
+        assert spec.name == "total<0.05s@99%"
+        with pytest.raises(ValueError):
+            parse_slo_spec("nonsense")
+        with pytest.raises(ValueError):
+            parse_slo_spec(":1:0.9")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SLOSpec("total", -1.0, 0.99)
+        with pytest.raises(ValueError):
+            SLOSpec("total", 0.1, 1.5)
+        with pytest.raises(ValueError):
+            SLOSpec("total", 0.1, 0.9, burn_warn=5.0, burn_page=1.0)
+
+    def test_burn_rate_math_and_alerts(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        spec = SLOSpec("total", 0.1, 0.9, window_seconds=60.0,
+                       burn_warn=1.0, burn_page=5.0)
+        mon = SLOMonitor(reg, [spec], clock=clock)
+        mon.observe()  # zero baseline
+        # 8 good, 2 bad of 10 -> error rate 0.2, burn 2.0 -> warn
+        _observe_latency(reg, "total", 0.001, n=8)
+        _observe_latency(reg, "total", 5.0, n=2)
+        clock.advance(1.0)
+        doc = mon.evaluate()
+        row = doc["slos"][0]
+        assert row["observed"] == 10 and row["bad"] == 2
+        assert row["error_rate"] == pytest.approx(0.2)
+        assert row["burn_rate"] == pytest.approx(2.0)
+        assert doc["status"] == "warn"
+        assert len(mon.alerts) == 1 and mon.alerts[0].severity == "warn"
+        # Same severity again: no duplicate alert.
+        clock.advance(1.0)
+        mon.evaluate()
+        assert len(mon.alerts) == 1
+        # Escalation to page fires once more.
+        _observe_latency(reg, "total", 5.0, n=30)
+        clock.advance(1.0)
+        doc = mon.evaluate()
+        assert doc["status"] == "page"
+        assert [a.severity for a in mon.alerts] == ["warn", "page"]
+
+    def test_quantization_is_conservative(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        # Threshold between two bucket bounds: good is counted at the
+        # lower bound, never overstated.
+        bounds = LATENCY_BUCKETS
+        mid = (bounds[10] + bounds[11]) / 2
+        spec = SLOSpec("total", mid, 0.5, window_seconds=60.0)
+        mon = SLOMonitor(reg, [spec], clock=clock)
+        mon.observe()
+        # A latency in (bounds[10], mid) is truly good but lands in the
+        # bucket whose upper bound exceeds the quantized threshold.
+        _observe_latency(reg, "total", (bounds[10] + mid) / 2)
+        clock.advance(1.0)
+        row = mon.evaluate()["slos"][0]
+        assert row["quantized_threshold_seconds"] == pytest.approx(bounds[10])
+        assert row["bad"] == 1  # conservative: not credited as good
+
+    def test_rolling_window_forgets(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        spec = SLOSpec("total", 0.1, 0.9, window_seconds=10.0)
+        mon = SLOMonitor(reg, [spec], clock=clock)
+        mon.observe()
+        _observe_latency(reg, "total", 5.0, n=10)  # all bad
+        clock.advance(1.0)
+        assert mon.evaluate()["status"] != "ok"
+        # A quiet window later the bad burst has aged out.
+        for _ in range(12):
+            clock.advance(1.0)
+            mon.observe()
+        doc = mon.evaluate()
+        assert doc["slos"][0]["observed"] == 0
+        assert doc["status"] == "ok"
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(MetricsRegistry(), [])
+        spec = SLOSpec("total", 0.1, 0.9)
+        with pytest.raises(ValueError):
+            SLOMonitor(MetricsRegistry(), [spec, spec])
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition (satellite: exposition-format tests)
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusExposition:
+    def test_content_type_pinned(self):
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("events", where='say "hi"\nback\\slash').inc()
+        text = to_prometheus_text(reg)
+        assert r'where="say \"hi\"\nback\\slash"' in text
+
+    def test_histogram_inf_bucket_sum_count(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 99.0):
+            hist.observe(v)
+        text = to_prometheus_text(reg)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 99.55" in text
+        assert "lat_count 3" in text
+
+    def test_scalar_observe_matches_vectorized(self):
+        a = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        b = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        values = [0.05, 0.1, 0.11, 1.0, 2.0, 10.0, 11.0]
+        for v in values:
+            a.observe(v)
+        b.observe_many(np.asarray(values))
+        assert np.array_equal(a.bucket_counts, b.bucket_counts)
+        assert a.count == b.count
+        assert a.sum == pytest.approx(b.sum)
+        assert a.min == b.min and a.max == b.max
+
+
+# ----------------------------------------------------------------------
+# shmem worker telemetry: the acceptance reconciliation
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traversal_system():
+    from repro.core import partition_graph
+    from repro.graph500.rmat import generate_edges
+    from repro.machine.network import MachineSpec
+    from repro.runtime.mesh import ProcessMesh
+
+    src, dst = generate_edges(9, seed=7)
+    machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+    mesh = ProcessMesh(2, 2, machine=machine)
+    part = partition_graph(
+        src, dst, 1 << 9, mesh, e_threshold=128, h_threshold=16
+    )
+    return part, machine
+
+
+class TestWorkerTelemetry:
+    def _run(self, part, machine, *, workers, tracer=None, metrics=None):
+        from repro.core.engine import DistributedBFS
+        from repro.runtime.backends import SharedMemoryBackend
+
+        with SharedMemoryBackend(workers=workers) as backend:
+            engine = DistributedBFS(
+                part, machine=machine, backend=backend,
+                **({"tracer": tracer} if tracer else {}),
+                **({"metrics": metrics} if metrics else {}),
+            )
+            return engine.run(1)
+
+    def test_one_track_per_worker_and_busy_reconciliation(
+        self, traversal_system
+    ):
+        part, machine = traversal_system
+        tracer, metrics = Tracer(), MetricsRegistry()
+        self._run(part, machine, workers=4, tracer=tracer, metrics=metrics)
+
+        chunk_spans = [sp for sp in tracer.spans if sp.name == "chunk"]
+        assert chunk_spans, "workers recorded no chunk spans"
+        workers_seen = sorted({sp.attrs["worker"] for sp in chunk_spans})
+        # One Chrome-trace track per worker that did work.
+        doc = to_chrome_trace(tracer, clock="wall")
+        tracks = doc["otherData"]["tracks"]
+        for wid in workers_seen:
+            assert f"worker {wid}" in tracks.values()
+
+        # ISSUE acceptance: per-worker chunk spans sum to the
+        # worker_busy_seconds counter within 1% (identical floats by
+        # construction, so this holds exactly).
+        span_busy = {}
+        for sp in chunk_spans:
+            wid = sp.attrs["worker"]
+            span_busy[wid] = (
+                span_busy.get(wid, 0.0) + sp.counters["busy_seconds"]
+            )
+        for (labels, inst) in metrics.samples("worker_busy_seconds"):
+            wid = labels["worker"]
+            assert span_busy[int(wid)] == pytest.approx(
+                inst.value, rel=0.01
+            )
+        # Tasks counted per worker/op.
+        total_tasks = metrics.counter_total("worker_tasks")
+        assert total_tasks == len(chunk_spans)
+        # Skew histogram observed once per dispatch.
+        skews = metrics.samples("worker_chunk_skew")
+        assert skews and skews[0][1].count > 0
+
+    def test_telemetry_does_not_change_results(self, traversal_system):
+        part, machine = traversal_system
+        bare = self._run(part, machine, workers=2)
+        metered = self._run(
+            part, machine, workers=2,
+            tracer=Tracer(), metrics=MetricsRegistry(),
+        )
+        assert np.array_equal(bare.parent, metered.parent)
+        assert bare.total_seconds == metered.total_seconds
+        assert bare.ledger.total_bytes == metered.ledger.total_bytes
+
+    def test_null_sinks_record_nothing(self, traversal_system):
+        part, machine = traversal_system
+        self._run(part, machine, workers=2)
+        assert len(NULL_TRACER.spans) == 0
+        assert not NULL_METRICS.enabled
+
+    def test_worker_telemetry_metrics_helper(self, traversal_system):
+        from repro.obs.report import worker_telemetry_metrics
+
+        part, machine = traversal_system
+        metrics = MetricsRegistry()
+        self._run(part, machine, workers=2, metrics=metrics)
+        telem = worker_telemetry_metrics(metrics)
+        assert telem["worker.count"] >= 1
+        assert telem["worker.busy_seconds_total"] > 0
+        assert telem["worker.tasks_total"] > 0
+        for key in telem:
+            if key.startswith("worker.utilization."):
+                assert 0.0 <= telem[key] <= 1.0
+        assert telem.get("worker.chunk_skew_mean", 0.0) >= 1.0
+        # Helper is empty for registries without worker telemetry.
+        assert worker_telemetry_metrics(MetricsRegistry()) == {}
+        assert worker_telemetry_metrics(NULL_METRICS) == {}
+
+
+# ----------------------------------------------------------------------
+# chrome trace JSON stays loadable end to end
+# ----------------------------------------------------------------------
+
+
+def test_trace_json_round_trip(tmp_path):
+    from repro.obs.export import write_chrome_trace
+
+    tracer = Tracer()
+    tracer.record_external("chunk", wall_start=0.0, wall_end=0.25, worker=0)
+    path = tmp_path / "nested" / "trace.json"
+    count = write_chrome_trace(tracer, path, clock="wall")
+    assert count == 1
+    doc = json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
