@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Incremental repair vs full rebuild cost across update-batch sizes.
+
+The dynamic subsystem's economic claim: repairing the 1.5D partition
+in place after a batch of edge updates must charge the simulated
+:class:`TrafficLedger` far less than rebuilding the partition from
+scratch — otherwise streaming ingestion is pointless.  This bench
+streams seeded ``mixed`` update batches sized as fractions of the live
+edge count through :class:`~repro.dynamic.repair.IncrementalGraph`
+(SCALE-15 R-MAT on a 4x4 mesh, tuned thresholds) and compares the
+ledger's cumulative repair charge — delta alltoallv, reclassification
+pass, amortized compactions — against the construction estimate for
+the same number of from-scratch rebuilds.
+
+Modes::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_repair.py           # sweep + write baseline
+    PYTHONPATH=src python benchmarks/bench_dynamic_repair.py --check benchmarks/results/BENCH_dynamic.json
+
+``--check`` re-runs the sweep and exits nonzero unless (1) repair
+charges under 25 % of rebuild cost at every batch size at or below 1 %
+of |E| (the acceptance gate), (2) the repaired partition is
+bit-identical to a from-scratch rebuild at the gate point, and (3) the
+per-point ratios stay within 10 % of the committed baseline (the
+ledger is simulated and deterministic, so drift means the cost model
+or the repair path changed — regenerate the baseline deliberately,
+not accidentally).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.analysis.experiments import tuned_thresholds  # noqa: E402
+from repro.analysis.reporting import ascii_table  # noqa: E402
+from repro.dynamic.gate import parts_bitwise_equal  # noqa: E402
+from repro.dynamic.repair import IncrementalGraph  # noqa: E402
+from repro.dynamic.updates import (  # noqa: E402
+    UpdateSpec,
+    generate_update_stream,
+)
+from repro.graph500.rmat import generate_edges  # noqa: E402
+from repro.machine.network import MachineSpec  # noqa: E402
+from repro.runtime.mesh import ProcessMesh  # noqa: E402
+
+SCALE = 15
+ROWS = COLS = 4
+SEED = 7
+BATCHES = 4
+COMPACT_EVERY = 4
+#: Batch sizes as fractions of the live edge count.
+FRACTIONS = (0.0025, 0.005, 0.01, 0.02, 0.04)
+#: The acceptance gate: repair < 25 % of rebuild at batches <= 1 % |E|.
+GATE_FRACTION = 0.01
+GATE_RATIO = 0.25
+#: Allowed relative drift of a point's ratio vs the committed baseline.
+CHECK_TOLERANCE = 0.10
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_dynamic.json"
+
+
+def run_sweep(*, verify_gate_point: bool = True) -> dict:
+    src, dst = generate_edges(SCALE, seed=SEED)
+    num_vertices = 2**SCALE
+    e_thr, h_thr = tuned_thresholds(SCALE)
+    machine = MachineSpec(num_nodes=ROWS * COLS, nodes_per_supernode=COLS)
+    points = []
+    mismatches: list[str] = []
+    for frac in FRACTIONS:
+        mesh = ProcessMesh(ROWS, COLS, machine=machine)
+        inc = IncrementalGraph(
+            src, dst, num_vertices, mesh,
+            e_threshold=e_thr, h_threshold=h_thr,
+            machine=machine, compact_every=COMPACT_EVERY,
+        )
+        num_edges = inc.num_edges
+        size = max(1, round(frac * num_edges))
+        lo, hi = inc.edges()
+        stream = generate_update_stream(
+            lo, hi, num_vertices,
+            UpdateSpec("mixed", batches=BATCHES, size=size), seed=SEED,
+        )
+        moved = 0
+        for batch in stream:
+            moved += inc.apply_batch(batch).num_arcs_moved
+        part = inc.graph()  # final compaction is part of the repair bill
+        repair = inc.ledger.total_seconds
+        rebuild = inc.rebuild_cost_estimate() * BATCHES
+        if verify_gate_point and frac == GATE_FRACTION:
+            mismatches = parts_bitwise_equal(part, inc.rebuild_reference())
+        points.append(dict(
+            fraction=frac,
+            batch_size=size,
+            batches=BATCHES,
+            arcs_moved=moved,
+            repair_seconds=repair,
+            rebuild_seconds=rebuild,
+            ratio=repair / rebuild,
+        ))
+    gated = [p for p in points if p["fraction"] <= GATE_FRACTION]
+    worst = max(p["ratio"] for p in gated)
+    return dict(
+        schema="bench.dynamic_repair.v1",
+        config=dict(
+            scale=SCALE, mesh=f"{ROWS}x{COLS}", seed=SEED,
+            batches=BATCHES, compact_every=COMPACT_EVERY,
+            e_threshold=e_thr, h_threshold=h_thr,
+        ),
+        num_edges=int(points[0]["batch_size"] / FRACTIONS[0]) if points else 0,
+        points=points,
+        gate=dict(
+            max_fraction=GATE_FRACTION,
+            max_ratio=GATE_RATIO,
+            worst_ratio_at_gate=worst,
+            bitwise_mismatches=mismatches,
+            passed=worst < GATE_RATIO and not mismatches,
+        ),
+    )
+
+
+def render(result: dict) -> str:
+    return ascii_table(
+        ["batch (% |E|)", "updates/batch", "arcs moved", "repair s",
+         "rebuild s", "repair/rebuild"],
+        [
+            [f"{100 * p['fraction']:g}%", p["batch_size"], p["arcs_moved"],
+             f"{p['repair_seconds']:.3e}", f"{p['rebuild_seconds']:.3e}",
+             f"{100 * p['ratio']:.1f}%"]
+            for p in result["points"]
+        ],
+        title=f"incremental repair vs {BATCHES} full rebuilds "
+              f"(SCALE {SCALE}, {ROWS}x{COLS}, mixed batches):",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="re-run the sweep and gate it against this committed artifact",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=str(RESULTS),
+        help="artifact destination when not in --check mode",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_sweep()
+    print(render(result))
+    gate = result["gate"]
+    print(f"gate: repair/rebuild {100 * gate['worst_ratio_at_gate']:.1f}% "
+          f"at batches <= {100 * gate['max_fraction']:g}% of |E| "
+          f"(bound {100 * gate['max_ratio']:g}%), "
+          f"bitwise {'ok' if not gate['bitwise_mismatches'] else 'MISMATCH'}")
+
+    ok = gate["passed"]
+    if not ok:
+        for m in gate["bitwise_mismatches"][:8]:
+            print(f"MISMATCH: {m}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        for base_p, new_p in zip(baseline["points"], result["points"]):
+            drift = abs(new_p["ratio"] - base_p["ratio"]) / base_p["ratio"]
+            if drift > CHECK_TOLERANCE:
+                print(f"FAIL: ratio at {100 * new_p['fraction']:g}% |E| "
+                      f"drifted {100 * drift:.1f}% from baseline "
+                      f"({base_p['ratio']:.3f} -> {new_p['ratio']:.3f}); "
+                      f"regenerate {args.check} if this is intended")
+                ok = False
+        print(f"check vs {args.check}: {'PASS' if ok else 'FAIL'}")
+    else:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"baseline: {out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Subcommands mirror the library's experiment drivers:
   gate).
 - ``chaos`` — run a fault matrix against the fault-free golden run and
   assert every recovered parent tree matches it (the CI chaos gate).
+- ``mutate`` — stream seeded edge-update batches through the
+  incremental partition repair path and check the repaired graph
+  bit-for-bit against a from-scratch rebuild; ``--smoke`` runs the
+  pinned equivalence-gate matrix (the CI dynamic gate).
 - ``serve`` — run a seeded query workload through the batched traversal
   service (bounded queue, batching window, result cache); ``--validate``
   checks every response bit-for-bit against a sequential run.
@@ -120,6 +124,17 @@ def _faults_arg(value: str):
     try:
         return parse_fault_spec(value)
     except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _updates_arg(value: str):
+    """Parse and validate an ``--updates`` spec at argument time, so a
+    malformed spec exits 2 with usage, matching ``--faults``."""
+    from repro.dynamic.updates import UpdateSpecError, parse_update_spec
+
+    try:
+        return parse_update_spec(value)
+    except UpdateSpecError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
@@ -347,6 +362,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="closed-loop clients (default: 2x batch size)")
     bserve.add_argument("--json", metavar="PATH", default=None,
                         help="write the sweep as a JSON artifact")
+
+    mut = sub.add_parser(
+        "mutate", parents=[common],
+        help="streaming edge updates: incremental partition repair "
+             "checked against a from-scratch rebuild",
+    )
+    mut.add_argument("--updates", type=_updates_arg, default=None,
+                     metavar="SPEC",
+                     help="update stream spec KIND[:key=value,...] with "
+                          "KIND insert|delete|mixed and keys batches=, "
+                          "size=, frac= (e.g. 'mixed:batches=4,size=64')")
+    mut.add_argument("--batch-size", type=int, default=None, metavar="N",
+                     help="override the spec's updates-per-batch size")
+    mut.add_argument("--compact-every", type=int, default=4, metavar="N",
+                     help="merge delta overlays into the packed arrays "
+                          "every N batches")
+    mut.add_argument("--smoke", action="store_true",
+                     help="run the pinned equivalence-gate matrix "
+                          "(insert/delete/mixed streams over R-MAT, "
+                          "power-law and ring graphs; ignores --updates/"
+                          "--scale/--mesh; the CI dynamic gate)")
 
     ocs = sub.add_parser("ocs", help="OCS-RMA microbenchmark (Fig. 14)")
     ocs.add_argument("--mib", type=int, default=32, help="stream size in MiB")
@@ -896,6 +932,104 @@ def _cmd_algo_impl(args, backend) -> int:
     return 0
 
 
+def _cmd_mutate(args) -> int:
+    from repro.analysis.reporting import ascii_table, format_seconds
+    from repro.dynamic.gate import (
+        EquivalenceReport,
+        parts_bitwise_equal,
+        run_equivalence_gate,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    if args.smoke:
+        # The pinned gate matrix: small-world families at default batch
+        # sizes (mostly recomputes) plus a long-diameter ring with tiny
+        # batches, which forces the resume-from-level patched path.
+        main_gate = run_equivalence_gate(metrics=metrics)
+        ring_gate = run_equivalence_gate(
+            families=("ring",), scale=8, batches=3, batch_size=3,
+            metrics=metrics,
+        )
+        merged = EquivalenceReport(cases=main_gate.cases + ring_gate.cases)
+        print(merged.summary())
+        modes = merged.mode_counts()
+        ok = merged.ok and modes.get("patched", 0) > 0
+        print(f"dynamic gate: {'PASS' if ok else 'FAIL'} "
+              f"({len(merged.cases)} streams, {merged.num_batches} batches, "
+              f"patch modes {modes})")
+        return 0 if ok else 1
+
+    if args.updates is None:
+        print("error: choose an update stream with --updates SPEC "
+              "(or pass --smoke)", file=sys.stderr)
+        print("usage: see `repro mutate --help`", file=sys.stderr)
+        return 2
+
+    from dataclasses import replace
+
+    from repro.analysis.experiments import tuned_thresholds
+    from repro.dynamic.repair import IncrementalGraph
+    from repro.dynamic.updates import UpdateSpecError, generate_update_stream
+    from repro.graph500.rmat import generate_edges
+    from repro.runtime.mesh import ProcessMesh
+
+    spec = args.updates
+    try:
+        if args.batch_size is not None:
+            spec = replace(spec, size=args.batch_size)
+        if args.compact_every < 1:
+            raise UpdateSpecError("--compact-every must be >= 1")
+    except UpdateSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("usage: see `repro mutate --help`", file=sys.stderr)
+        return 2
+
+    rows, cols = args.mesh
+    num_vertices = 2 ** args.scale
+    src, dst = generate_edges(args.scale, seed=args.seed)
+    e_thr, h_thr = args.e_threshold, args.h_threshold
+    if e_thr is None or h_thr is None:
+        e_thr, h_thr = tuned_thresholds(args.scale)
+    mesh = ProcessMesh(rows, cols)
+    inc = IncrementalGraph(
+        src, dst, num_vertices, mesh,
+        e_threshold=e_thr, h_threshold=h_thr,
+        compact_every=args.compact_every, metrics=metrics,
+    )
+    lo, hi = inc.edges()
+    stream = generate_update_stream(lo, hi, num_vertices, spec,
+                                    seed=args.seed)
+    rows_out = []
+    for batch in stream:
+        rep = inc.apply_batch(batch)
+        rows_out.append([
+            rep.batch_index, rep.num_inserted_edges, rep.num_deleted_edges,
+            rep.num_class_changes, rep.num_arcs_moved,
+            f"{rep.seconds:.3e}", "yes" if rep.compacted else "",
+        ])
+    print(ascii_table(
+        ["batch", "inserted", "deleted", "reclass", "arcs moved",
+         "repair s", "compacted"],
+        rows_out,
+        title=f"{spec.kind} stream over SCALE {args.scale} "
+              f"({inc.num_edges:,} live edges after "
+              f"{len(stream)} batches):",
+    ))
+    part = inc.graph()
+    problems = parts_bitwise_equal(part, inc.rebuild_reference())
+    repair_s = inc.ledger.total_seconds
+    rebuild_s = inc.rebuild_cost_estimate() * len(stream)
+    print(f"repair cost: {format_seconds(repair_s)} simulated vs "
+          f"{format_seconds(rebuild_s)} for {len(stream)} full rebuilds "
+          f"({100 * repair_s / rebuild_s:.1f}%)")
+    if problems:
+        for p in problems[:8]:
+            print(f"MISMATCH: {p}")
+    print("equivalence vs rebuild:", "PASS" if not problems else "FAIL")
+    return 0 if not problems else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.analysis.reporting import ascii_table
     from repro.graph500.driver import run_graph500
@@ -1227,6 +1361,7 @@ _COMMANDS = {
     "sssp": _cmd_sssp,
     "algo": _cmd_algo,
     "chaos": _cmd_chaos,
+    "mutate": _cmd_mutate,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
 }

@@ -41,7 +41,13 @@ from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.ledger import TrafficLedger
 
-__all__ = ["LevelSyncScheduler", "SchedulerHost", "BatchRunState"]
+__all__ = [
+    "LevelSyncScheduler",
+    "SchedulerHost",
+    "BatchRunState",
+    "ResumePoint",
+    "ProgramResumePoint",
+]
 
 
 @dataclass
@@ -62,6 +68,53 @@ class BatchRunState:
     lane_frontiers: list[np.ndarray] = field(default_factory=list)
     #: Per wave: ``{component: (push_lane_mask, pull_lane_mask)}``.
     lane_directions: list[dict] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ResumePoint:
+    """A synthetic mid-traversal entry point for :meth:`LevelSyncScheduler.run`.
+
+    Structurally identical to a
+    :class:`~repro.resilience.checkpoint.Checkpoint` (the ``resume=``
+    parameter is duck-typed on exactly these fields) but constructed
+    from *derived* state rather than captured live state — no sha256
+    fingerprint, no persistence.  The incremental result patcher
+    (:mod:`repro.dynamic.patch`) builds one from a repaired result's
+    unaffected level prefix and re-enters the level loop at the first
+    iteration the graph delta can influence: the scheduler resumes at
+    ``iteration + 1``, so ``iteration = k - 1`` re-runs levels ``k``
+    onward.  ``parent``/``visited``/``active`` must be the exact state
+    a fresh run would hold after completing iteration ``iteration``.
+    """
+
+    root: int
+    #: Last completed iteration index (state is *after* this level).
+    iteration: int
+    parent: np.ndarray
+    visited: np.ndarray
+    active: np.ndarray
+    #: Per-iteration records of the kept prefix.
+    records: tuple = ()
+
+
+@dataclass(frozen=True)
+class ProgramResumePoint:
+    """Synthetic resume for :meth:`LevelSyncScheduler.run_program`.
+
+    The vertex-program sibling of :class:`ResumePoint` (duck-typed like
+    a :class:`~repro.resilience.checkpoint.ProgramCheckpoint`): restores
+    the program's ``state`` dict and re-enters the iteration loop with
+    ``active`` as the frontier.  With ``iteration = -1`` the loop starts
+    at 0, i.e. a fresh run seeded with arbitrary prior state — how the
+    dynamic layer re-converges SSSP from patched distances instead of
+    recomputing from the root.
+    """
+
+    program: str
+    iteration: int
+    active: np.ndarray
+    state: dict
+    records: tuple = ()
 
 
 class SchedulerHost:

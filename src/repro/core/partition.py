@@ -17,6 +17,27 @@ Degenerate settings reproduce the paper's §4.1 observations: with
 ``h_threshold == e_threshold`` there are no H vertices and the scheme
 collapses toward 1D-with-heavy-delegates; with a threshold of 1 every
 vertex is delegated and it collapses toward 2D.
+
+Two placement modes
+-------------------
+
+``placement="cyclic"`` (the default, and the paper's static pipeline)
+deals E-endpoint EH2EH arcs over the mesh by their *position* in the
+global arc array, and assigns EH-space columns/rows by dense degree-
+descending re-ID.  Both choices depend on the edge list's order and on
+the full degree ranking, so the placement of untouched arcs shifts when
+edges are inserted or deleted — fine for a frozen graph, fatal for
+incremental repair.
+
+``placement="stable"`` replaces both order-dependent choices with
+content hashes (a splitmix64 mix of the endpoint IDs): every arc and
+every EH vertex lands on a rank that is a pure function of its own
+content and the current degree classes.  Inserting or deleting an edge
+then moves only that edge's arcs (plus the incident arcs of vertices
+whose class changed), which is the property :mod:`repro.dynamic`'s
+incremental-vs-rebuild equivalence gate is built on.  The spread
+quality is the same in expectation — a hash deal is statistically the
+same deal as a cyclic one.
 """
 
 from __future__ import annotations
@@ -30,7 +51,30 @@ from repro.graphs.csr import symmetrize_edges
 from repro.graphs.stats import degrees_from_edges
 from repro.runtime.mesh import ProcessMesh
 
-__all__ = ["VertexClass", "PartitionedGraph", "partition_graph"]
+__all__ = [
+    "VertexClass",
+    "PartitionedGraph",
+    "partition_graph",
+    "classify_vertices",
+    "eh_placement",
+    "place_arcs",
+    "mix64",
+]
+
+#: Valid values of ``partition_graph(..., placement=)``.
+PLACEMENT_MODES = ("cyclic", "stable")
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: a high-quality 64-bit mix.
+
+    Used by the stable placement mode to derive content-deterministic
+    mesh coordinates from vertex and arc identities.
+    """
+    z = np.asarray(x).astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
 
 
 class VertexClass:
@@ -84,6 +128,9 @@ class PartitionedGraph:
     row_eh_counts: np.ndarray = field(default=None)
     #: L vertices per rank (block distribution).
     l_per_rank: np.ndarray = field(default=None)
+    #: Placement mode the partition was built with ("cyclic" or
+    #: "stable"); incremental repair requires "stable".
+    placement: str = "cyclic"
 
     # ------------------------------------------------------------------
 
@@ -128,37 +175,33 @@ class PartitionedGraph:
         return self.components["EH2EH"].num_arcs / self.total_arcs
 
 
-def partition_graph(
-    src: np.ndarray,
-    dst: np.ndarray,
-    num_vertices: int,
-    mesh: ProcessMesh,
-    *,
-    e_threshold: int,
-    h_threshold: int,
-) -> PartitionedGraph:
-    """Partition an undirected edge list into the six 1.5D components.
-
-    Parameters
-    ----------
-    src, dst:
-        Undirected edge list (one entry per edge; self loops dropped).
-    num_vertices:
-        Vertex count; the mesh's block distribution covers ``[0, n)``.
-    mesh:
-        The R x C process mesh.
-    e_threshold, h_threshold:
-        Degree class thresholds, ``e_threshold >= h_threshold``.
-    """
-    if e_threshold < h_threshold:
-        raise ValueError(
-            f"e_threshold ({e_threshold}) must be >= h_threshold ({h_threshold})"
-        )
-    degrees = degrees_from_edges(src, dst, num_vertices)
-
-    vclass = np.zeros(num_vertices, dtype=np.int8)
+def classify_vertices(
+    degrees: np.ndarray, *, e_threshold: int, h_threshold: int
+) -> np.ndarray:
+    """Per-vertex class codes from undirected degrees (step 2)."""
+    vclass = np.zeros(degrees.size, dtype=np.int8)
     vclass[degrees >= h_threshold] = VertexClass.H
     vclass[degrees >= e_threshold] = VertexClass.E
+    return vclass
+
+
+def eh_placement(
+    vclass: np.ndarray,
+    degrees: np.ndarray,
+    mesh: ProcessMesh,
+    *,
+    placement: str = "cyclic",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(e_ids, h_ids, eh_col, eh_row)`` for the current classes.
+
+    ``e_ids``/``h_ids`` are always sorted by degree descending (dense
+    re-ID order, used for delegate bitmap sizing).  The EH-space mesh
+    coordinates depend on the mode: cyclic deals the degree-descending
+    re-IDs over columns/rows (order-dependent under degree drift),
+    stable hashes each vertex ID (a pure function of the vertex, so a
+    reclassification moves only that vertex's delegates).
+    """
+    num_vertices = int(vclass.size)
 
     # Dense re-IDs by degree descending (stable on vertex id).
     def by_degree_desc(ids: np.ndarray) -> np.ndarray:
@@ -169,25 +212,59 @@ def partition_graph(
 
     e_ids = by_degree_desc(np.flatnonzero(vclass == VertexClass.E))
     h_ids = by_degree_desc(np.flatnonzero(vclass == VertexClass.H))
-
-    # EH-space placement: dense IDs by degree descending, dealt cyclically
-    # over columns (and row-cyclically within a column's deal) so the
-    # heaviest vertices' delegate load spreads evenly over the mesh.
     eh_order = np.concatenate([e_ids, h_ids])
+
+    if placement == "stable":
+        is_eh = vclass >= VertexClass.H
+        hashed = mix64(np.arange(num_vertices, dtype=np.int64))
+        eh_col = np.where(
+            is_eh, (hashed % np.uint64(mesh.cols)).astype(np.int64), -1
+        )
+        eh_row = np.where(
+            is_eh,
+            ((hashed // np.uint64(mesh.cols)) % np.uint64(mesh.rows)).astype(
+                np.int64
+            ),
+            -1,
+        )
+        return e_ids, h_ids, eh_col, eh_row
+
+    # Cyclic: dense IDs by degree descending, dealt cyclically over
+    # columns (and row-cyclically within a column's deal) so the
+    # heaviest vertices' delegate load spreads evenly over the mesh.
     eh_index = np.full(num_vertices, -1, dtype=np.int64)
     if eh_order.size:
         eh_index[eh_order] = np.arange(eh_order.size, dtype=np.int64)
     eh_col = np.where(eh_index >= 0, eh_index % mesh.cols, -1)
     eh_row = np.where(eh_index >= 0, (eh_index // mesh.cols) % mesh.rows, -1)
+    return e_ids, h_ids, eh_col, eh_row
 
-    # Arc placement.
-    a_src, a_dst = symmetrize_edges(src, dst)
+
+def place_arcs(
+    a_src: np.ndarray,
+    a_dst: np.ndarray,
+    *,
+    vclass: np.ndarray,
+    eh_col: np.ndarray,
+    eh_row: np.ndarray,
+    mesh: ProcessMesh,
+    num_vertices: int,
+    placement: str = "cyclic",
+    arc_cycle: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(component_index, rank)`` per arc (steps 4's placement table).
+
+    ``component_index`` indexes :data:`~repro.core.subgraphs.COMPONENT_ORDER`.
+    In cyclic mode ``arc_cycle`` is each arc's position in the global
+    symmetrized array (defaults to ``arange``); stable mode ignores it
+    and hashes the endpoint pair instead, so an arc's rank never depends
+    on what other arcs exist.
+    """
     sc = vclass[a_src].astype(np.int64)
     dc = vclass[a_dst].astype(np.int64)
     o_src = mesh.owner_of(a_src, num_vertices)
     o_dst = mesh.owner_of(a_dst, num_vertices)
     r_dst = mesh.row_of(o_dst)
-    c_src = mesh.col_of(o_src)
 
     heavy_s = sc >= VertexClass.H
     heavy_d = dc >= VertexClass.H
@@ -210,13 +287,23 @@ def partition_graph(
     # super-hubs' adjacency mass and gives the tight Fig. 13 balance.
     # L endpoints place by block ownership.
     rank = np.empty(a_src.size, dtype=np.int64)
-    arc_cycle = np.arange(a_src.size, dtype=np.int64)
+    if placement == "stable":
+        deal = mix64(mix64(a_src) + np.asarray(a_dst).astype(np.uint64))
+        deal_col = (deal % np.uint64(mesh.cols)).astype(np.int64)
+        deal_row = (
+            (deal // np.uint64(mesh.cols)) % np.uint64(mesh.rows)
+        ).astype(np.int64)
+    else:
+        if arc_cycle is None:
+            arc_cycle = np.arange(a_src.size, dtype=np.int64)
+        deal_col = arc_cycle % mesh.cols
+        deal_row = (arc_cycle // mesh.cols) % mesh.rows
 
     m_2d = comp_of == names.index("EH2EH")
     src_is_h = sc == VertexClass.H
     dst_is_h = dc == VertexClass.H
-    col_2d = np.where(src_is_h, eh_col[a_src], arc_cycle % mesh.cols)
-    row_2d = np.where(dst_is_h, eh_row[a_dst], (arc_cycle // mesh.cols) % mesh.rows)
+    col_2d = np.where(src_is_h, eh_col[a_src], deal_col)
+    row_2d = np.where(dst_is_h, eh_row[a_dst], deal_row)
     rank[m_2d] = row_2d[m_2d] * mesh.cols + col_2d[m_2d]
 
     m = comp_of == names.index("E2L")
@@ -229,7 +316,67 @@ def partition_graph(
     rank[m] = o_src[m]
     m = comp_of == names.index("L2L")
     rank[m] = o_src[m]
+    return comp_of, rank
 
+
+def partition_graph(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    mesh: ProcessMesh,
+    *,
+    e_threshold: int,
+    h_threshold: int,
+    placement: str = "cyclic",
+) -> PartitionedGraph:
+    """Partition an undirected edge list into the six 1.5D components.
+
+    Parameters
+    ----------
+    src, dst:
+        Undirected edge list (one entry per edge; self loops dropped).
+    num_vertices:
+        Vertex count; the mesh's block distribution covers ``[0, n)``.
+    mesh:
+        The R x C process mesh.
+    e_threshold, h_threshold:
+        Degree class thresholds, ``e_threshold >= h_threshold``.
+    placement:
+        ``"cyclic"`` (default, order-dependent deal — the static
+        pipeline) or ``"stable"`` (content-hashed deal, required by
+        :mod:`repro.dynamic`'s incremental repair; see module docs).
+    """
+    if e_threshold < h_threshold:
+        raise ValueError(
+            f"e_threshold ({e_threshold}) must be >= h_threshold ({h_threshold})"
+        )
+    if placement not in PLACEMENT_MODES:
+        raise ValueError(
+            f"unknown placement mode {placement!r}; expected one of "
+            f"{PLACEMENT_MODES}"
+        )
+    degrees = degrees_from_edges(src, dst, num_vertices)
+    vclass = classify_vertices(
+        degrees, e_threshold=e_threshold, h_threshold=h_threshold
+    )
+    e_ids, h_ids, eh_col, eh_row = eh_placement(
+        vclass, degrees, mesh, placement=placement
+    )
+    eh_order = np.concatenate([e_ids, h_ids])
+
+    a_src, a_dst = symmetrize_edges(src, dst)
+    comp_of, rank = place_arcs(
+        a_src,
+        a_dst,
+        vclass=vclass,
+        eh_col=eh_col,
+        eh_row=eh_row,
+        mesh=mesh,
+        num_vertices=num_vertices,
+        placement=placement,
+    )
+
+    names = list(COMPONENT_ORDER)
     components = {}
     for i, name in enumerate(names):
         sel = comp_of == i
@@ -264,4 +411,5 @@ def partition_graph(
         col_eh_counts=col_eh,
         row_eh_counts=row_eh,
         l_per_rank=l_per_rank,
+        placement=placement,
     )

@@ -53,6 +53,7 @@ from repro.resilience.faults import RankCrashError
 from repro.serve.cache import ResultCache, fingerprint_graph
 
 __all__ = [
+    "IngestReport",
     "Overloaded",
     "TraversalError",
     "TraversalResponse",
@@ -236,6 +237,22 @@ class ServeStats:
 
 
 @dataclass
+class IngestReport:
+    """Outcome of one :meth:`TraversalService.ingest_updates` call."""
+
+    #: Per-batch :class:`~repro.dynamic.repair.RepairReport` objects.
+    reports: list = field(repr=False, default_factory=list)
+    num_batches: int = 0
+    num_updates: int = 0
+    #: Cache entries evicted because the delta touched their tree.
+    cache_evicted: int = 0
+    #: Cache entries carried over to the repaired graph's fingerprint.
+    cache_rekeyed: int = 0
+    old_fingerprint: str = ""
+    new_fingerprint: str = ""
+
+
+@dataclass
 class _Request:
     root: int
     future: asyncio.Future = field(repr=False)
@@ -265,6 +282,7 @@ class TraversalService:
         tracer=NULL_TRACER,
         clock=time.monotonic,
         timeline_capacity: int = 1024,
+        dynamic=None,
     ) -> None:
         from repro.serve.msbfs import MAX_BATCH_ROOTS
 
@@ -305,6 +323,12 @@ class TraversalService:
         self._program_engine = None
         self._program_cache: "OrderedDict[tuple, dict]" = OrderedDict()
         self._program_cache_capacity = 256
+        # Streaming ingestion: an IncrementalGraph whose live edge set
+        # this service serves.  Update batches applied through
+        # ingest_updates() repair it in place, rebuild the engine over
+        # the repaired partition, and partially invalidate the cache.
+        self._dynamic = dynamic
+        self._ingest_lock = asyncio.Lock()
 
     @property
     def graph_fingerprint(self) -> str:
@@ -364,6 +388,100 @@ class TraversalService:
             self._cache.invalidate(old)
         self._program_engine = None
         self._program_cache.clear()
+
+    # ------------------------------------------------------------------
+    # streaming ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def dynamic(self):
+        """The attached :class:`~repro.dynamic.repair.IncrementalGraph`
+        (``None`` for statically served graphs)."""
+        return self._dynamic
+
+    def _rebuild_engine(self, part):
+        """A fresh MSBFS engine over a repaired partition, mirroring the
+        current engine's machine/config/metrics/backend."""
+        from repro.serve.msbfs import MultiSourceBFS
+
+        src = self.engine
+        return MultiSourceBFS(
+            part,
+            machine=getattr(src, "machine", None),
+            config=src.config,
+            tracer=getattr(src, "tracer", None),
+            metrics=getattr(src, "metrics", None),
+            backend=getattr(getattr(src, "scheduler", None), "backend", None),
+        )
+
+    async def ingest_updates(self, batches) -> IngestReport:
+        """Apply edge-update batches to the served graph, live.
+
+        Requires the service to have been built with
+        ``dynamic=IncrementalGraph(...)`` over the same edge set as the
+        engine.  Each batch is repaired incrementally on the executor —
+        in-flight query batches keep running against the old engine
+        while repair proceeds — then the engine swap, fingerprint bump
+        and cache delta are applied atomically between query batches
+        (no awaits once the new engine exists).  The cache is *partially*
+        invalidated: only entries whose parent tree intersects the
+        delta's touched vertices are evicted; the rest are re-keyed to
+        the repaired graph and keep serving.
+
+        Ingestions are serialized by an internal lock; queries are not
+        blocked by it.
+        """
+        if self._dynamic is None:
+            raise RuntimeError(
+                "service was not built with a dynamic graph "
+                "(pass dynamic=IncrementalGraph(...))"
+            )
+        loop = asyncio.get_running_loop()
+        async with self._ingest_lock:
+            reports = []
+            num_updates = 0
+            for batch in batches:
+                report = await loop.run_in_executor(
+                    None, self._dynamic.apply_batch, batch
+                )
+                reports.append(report)
+                num_updates += batch.size
+                self._metrics.counter("serve_ingest_batches").inc()
+                self._metrics.counter("serve_ingest_updates").inc(batch.size)
+            # graph() compacts pending overlays into the packed arrays.
+            part = await loop.run_in_executor(None, self._dynamic.graph)
+            engine = await loop.run_in_executor(
+                None, self._rebuild_engine, part
+            )
+            touched = (
+                np.unique(np.concatenate([r.delta.touched for r in reports]))
+                if reports
+                else np.array([], dtype=np.int64)
+            )
+            old_fp = self._fingerprint
+            new_fp = fingerprint_graph(part)
+            # Atomic from here: no awaits between swap and cache delta.
+            self.engine = engine
+            self._fingerprint = new_fp
+            self._program_engine = None
+            self._program_cache.clear()
+            evicted = rekeyed = 0
+            if self._cache is not None:
+                if hasattr(self._cache, "apply_delta"):
+                    evicted, rekeyed = self._cache.apply_delta(
+                        old_fp, new_fp, touched
+                    )
+                else:
+                    evicted = self._cache.invalidate(old_fp)
+            return IngestReport(
+                reports=reports,
+                num_batches=len(reports),
+                num_updates=num_updates,
+                cache_evicted=evicted,
+                cache_rekeyed=rekeyed,
+                old_fingerprint=old_fp,
+                new_fingerprint=new_fp,
+            )
 
     # ------------------------------------------------------------------
     # request path
@@ -682,6 +800,11 @@ class TraversalService:
 
     async def _execute_batch(self, batch: list[_Request]) -> None:
         t_exec = self._clock()
+        # Captured before the executor hop: if an ingestion swaps the
+        # engine mid-flight, this batch's results must be cached under
+        # the generation they were computed on, not the new one.
+        engine = self.engine
+        fingerprint = self._fingerprint
         by_root: dict[int, list[_Request]] = {}
         for request in batch:
             by_root.setdefault(request.root, []).append(request)
@@ -694,9 +817,7 @@ class TraversalService:
         try:
             result = await loop.run_in_executor(
                 None,
-                functools.partial(
-                    self.engine.run_batch, roots, **run_kwargs
-                ),
+                functools.partial(engine.run_batch, roots, **run_kwargs),
             )
         except RankCrashError:
             self._metrics.counter("serve_batches", outcome="crashed").inc()
@@ -741,7 +862,7 @@ class TraversalService:
         for root, requests in by_root.items():
             parent = result.lane_parent(lane_of[root])
             if self._cache is not None:
-                self._cache.put(self._fingerprint, root, parent)
+                self._cache.put(fingerprint, root, parent)
             for request in requests:
                 queue_wait = request.popped_at - request.submitted_at
                 batch_wait = t_exec - request.popped_at

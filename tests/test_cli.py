@@ -340,3 +340,48 @@ class TestReportAndCompare:
         assert rc == 2
         rc = main(["compare", str(a), str(a), "--max-regress=-3%"])
         assert rc == 2
+
+
+class TestMutate:
+    def test_stream_passes_equivalence(self, capsys):
+        rc = main([
+            "mutate", "--scale", "9", "--mesh", "2x2",
+            "--updates", "mixed:batches=3,size=16",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "equivalence vs rebuild: PASS" in out
+        assert "repair cost" in out
+
+    def test_batch_size_overrides_spec(self, capsys):
+        rc = main([
+            "mutate", "--scale", "9", "--mesh", "2x2",
+            "--updates", "insert:batches=2,size=64", "--batch-size", "4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "|        4 |" in out  # inserted column shows 4 per batch
+
+    def test_malformed_spec_exits_two_with_usage(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["mutate", "--updates", "upsert:size=4"])
+        assert exc.value.code == 2
+
+    def test_missing_spec_exits_two(self, capsys):
+        rc = main(["mutate", "--scale", "9", "--mesh", "2x2"])
+        assert rc == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bad_batch_size_exits_two(self, capsys):
+        rc = main([
+            "mutate", "--scale", "9", "--mesh", "2x2",
+            "--updates", "insert", "--batch-size", "0",
+        ])
+        assert rc == 2
+
+    def test_smoke_gate(self, capsys):
+        rc = main(["mutate", "--smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dynamic gate: PASS" in out
+        assert "patched" in out

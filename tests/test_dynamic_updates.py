@@ -1,0 +1,149 @@
+"""Tests for the batched edge-update log (:mod:`repro.dynamic.updates`)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.updates import (
+    UpdateBatch,
+    UpdateSpec,
+    UpdateSpecError,
+    apply_updates,
+    canonical_edges,
+    generate_update_stream,
+    parse_update_spec,
+    weights_for_edges,
+)
+
+
+class TestSpecGrammar:
+    def test_bare_kind(self):
+        spec = parse_update_spec("insert")
+        assert spec == UpdateSpec(kind="insert")
+
+    def test_full_spec(self):
+        spec = parse_update_spec("mixed:batches=8,size=32,frac=0.25")
+        assert spec == UpdateSpec(kind="mixed", batches=8, size=32, frac=0.25)
+
+    def test_whitespace_tolerated(self):
+        spec = parse_update_spec("  delete : batches = 2 , size = 128 ")
+        assert spec == UpdateSpec(kind="delete", batches=2, size=128)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "upsert",
+        "insert:batches",
+        "insert:batches=",
+        "insert:=4",
+        "insert:batches=four",
+        "insert:frac=lots",
+        "insert:rate=0.5",
+        "insert:batches=0",
+        "insert:size=-1",
+        "mixed:frac=1.5",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(UpdateSpecError):
+            parse_update_spec(bad)
+
+    def test_spec_error_is_value_error(self):
+        # The CLI maps it to exit 2 via argparse; callers can still
+        # catch plain ValueError.
+        assert issubclass(UpdateSpecError, ValueError)
+
+
+class TestCanonicalEdges:
+    def test_canonicalization(self):
+        src = np.array([3, 1, 1, 2, 5])
+        dst = np.array([0, 2, 2, 1, 5])  # dup {1,2} both ways, loop {5,5}
+        lo, hi = canonical_edges(src, dst, 8)
+        assert lo.tolist() == [0, 1]
+        assert hi.tolist() == [3, 2]
+
+    def test_apply_is_idempotent(self):
+        lo = np.array([0, 2])
+        hi = np.array([1, 3])
+        batch = UpdateBatch(
+            src=np.array([0, 4, 6]),
+            dst=np.array([1, 5, 7]),  # {0,1} already present
+            op=np.array([1, 1, -1], dtype=np.int8),  # delete {6,7}: absent
+        )
+        new_lo, new_hi = apply_updates(lo, hi, batch, 8)
+        assert new_lo.tolist() == [0, 2, 4]
+        assert new_hi.tolist() == [1, 3, 5]
+
+
+class TestStreamGeneration:
+    @pytest.fixture(scope="class")
+    def base(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 64, size=200)
+        dst = rng.integers(0, 64, size=200)
+        return canonical_edges(src, dst, 64)
+
+    def test_deterministic(self, base):
+        lo, hi = base
+        spec = UpdateSpec(kind="mixed", batches=3, size=16)
+        a = generate_update_stream(lo, hi, 64, spec, seed=5)
+        b = generate_update_stream(lo, hi, 64, spec, seed=5)
+        assert len(a) == len(b) == 3
+        for x, y in zip(a, b):
+            assert np.array_equal(x.src, y.src)
+            assert np.array_equal(x.dst, y.dst)
+            assert np.array_equal(x.op, y.op)
+
+    def test_seed_changes_stream(self, base):
+        lo, hi = base
+        spec = UpdateSpec(kind="insert", batches=1, size=16)
+        a = generate_update_stream(lo, hi, 64, spec, seed=5)[0]
+        b = generate_update_stream(lo, hi, 64, spec, seed=6)[0]
+        assert not np.array_equal(a.src, b.src)
+
+    def test_deletes_target_live_inserts_target_absent(self, base):
+        lo, hi = base
+        spec = UpdateSpec(kind="mixed", batches=4, size=12)
+        live_lo, live_hi = lo, hi
+        for batch in generate_update_stream(lo, hi, 64, spec, seed=9):
+            live = set(zip(live_lo.tolist(), live_hi.tolist()))
+            for s, d, op in zip(
+                batch.src.tolist(), batch.dst.tolist(), batch.op.tolist()
+            ):
+                assert s < d
+                if op > 0:
+                    assert (s, d) not in live
+                else:
+                    assert (s, d) in live
+            live_lo, live_hi = apply_updates(live_lo, live_hi, batch, 64)
+
+    def test_mixed_frac_splits_batch(self, base):
+        lo, hi = base
+        spec = UpdateSpec(kind="mixed", batches=1, size=16, frac=0.25)
+        batch = generate_update_stream(lo, hi, 64, spec, seed=2)[0]
+        assert batch.num_inserts == 4
+        assert batch.num_deletes == 12
+
+    def test_delete_stream_drains_gracefully(self):
+        # More deletions than edges: batches shrink, never go negative.
+        lo = np.array([0, 1, 2])
+        hi = np.array([1, 2, 3])
+        spec = UpdateSpec(kind="delete", batches=3, size=2)
+        stream = generate_update_stream(lo, hi, 8, spec, seed=1)
+        assert [b.size for b in stream] == [2, 1, 0]
+
+
+class TestWeights:
+    def test_content_hashed_not_positional(self):
+        src = np.array([4, 0, 9])
+        dst = np.array([7, 3, 2])
+        w = weights_for_edges(src, dst, 16)
+        # Same edges, different order and orientation: same weights.
+        w_perm = weights_for_edges(dst[::-1], src[::-1], 16)
+        assert np.array_equal(np.sort(w), np.sort(w_perm))
+        assert np.all((w >= 0.0) & (w < 1.0))
+
+    def test_seed_changes_weights(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        assert not np.array_equal(
+            weights_for_edges(src, dst, 4, seed=1),
+            weights_for_edges(src, dst, 4, seed=2),
+        )

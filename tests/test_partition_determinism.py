@@ -1,0 +1,77 @@
+"""Rebuild determinism of :func:`repro.core.partition.partition_graph`.
+
+Two guarantees back the dynamic subsystem's equivalence gate:
+
+1. **Replay determinism** (both placements): partitioning the same edge
+   list twice produces bit-identical placement and packed arrays.
+2. **Order independence** (``placement="stable"`` only): permuting the
+   edge list leaves every array bit-identical, because stable placement
+   hashes arc *content* and the packed orders are value sorts.  The
+   default cyclic placement deals arcs by position, so it cannot make
+   this promise — which is exactly why the incremental path requires
+   stable mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PLACEMENT_MODES, partition_graph
+from repro.dynamic.gate import parts_bitwise_equal
+from repro.dynamic.updates import canonical_edges
+from repro.graph500.rmat import generate_edges
+from repro.runtime.mesh import ProcessMesh
+
+N = 2**9
+
+
+@pytest.fixture(scope="module")
+def edges():
+    src, dst = generate_edges(9, seed=3)
+    return canonical_edges(src, dst, N)
+
+
+def _build(lo, hi, placement):
+    return partition_graph(
+        lo, hi, N, ProcessMesh(2, 2),
+        e_threshold=32, h_threshold=8, placement=placement,
+    )
+
+
+@pytest.mark.parametrize("placement", PLACEMENT_MODES)
+def test_same_edge_list_twice_is_bit_identical(edges, placement):
+    lo, hi = edges
+    a = _build(lo, hi, placement)
+    b = _build(lo.copy(), hi.copy(), placement)
+    assert parts_bitwise_equal(a, b) == []
+
+
+def test_stable_placement_ignores_edge_order(edges):
+    lo, hi = edges
+    a = _build(lo, hi, "stable")
+    perm = np.random.default_rng(11).permutation(lo.size)
+    b = _build(lo[perm], hi[perm], "stable")
+    assert parts_bitwise_equal(a, b) == []
+
+
+def test_stable_placement_ignores_endpoint_orientation(edges):
+    lo, hi = edges
+    a = _build(lo, hi, "stable")
+    # Flip every edge: {u, v} content is unchanged.
+    b = _build(hi, lo, "stable")
+    assert parts_bitwise_equal(a, b) == []
+
+
+def test_placements_agree_on_vertex_metadata(edges):
+    """Class assignment depends only on degrees, never on placement."""
+    lo, hi = edges
+    a = _build(lo, hi, "cyclic")
+    b = _build(lo, hi, "stable")
+    assert np.array_equal(a.degrees, b.degrees)
+    assert np.array_equal(a.vclass, b.vclass)
+    assert a.total_arcs == b.total_arcs
+
+
+def test_unknown_placement_rejected(edges):
+    lo, hi = edges
+    with pytest.raises(ValueError, match="placement"):
+        _build(lo, hi, "alphabetical")

@@ -1,0 +1,225 @@
+"""Serving under churn: partial cache invalidation and live ingestion.
+
+The cache tests exercise the touched-vertex digest machinery directly;
+the service tests run edge-update batches through
+:meth:`TraversalService.ingest_updates` on a two-component graph, where
+an update confined to one component must evict only that component's
+cached trees and carry the other component's across the generation.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import BFSConfig
+from repro.dynamic.repair import IncrementalGraph
+from repro.dynamic.updates import UpdateBatch
+from repro.machine.network import MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.mesh import ProcessMesh
+from repro.serve.cache import ResultCache, fingerprint_graph, touched_digest
+from repro.serve.msbfs import MultiSourceBFS
+from repro.serve.service import TraversalService
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def _insert_batch(pairs):
+    return UpdateBatch(
+        src=np.array([p[0] for p in pairs], dtype=np.int64),
+        dst=np.array([p[1] for p in pairs], dtype=np.int64),
+        op=np.ones(len(pairs), dtype=np.int8),
+    )
+
+
+def two_rings(half=32):
+    """Two disjoint rings: component A on [0, half), B on [half, 2*half)."""
+    i = np.arange(half, dtype=np.int64)
+    lo = np.concatenate([i, i + half])
+    hi = np.concatenate([(i + 1) % half, (i + 1) % half + half])
+    return lo, hi, 2 * half
+
+
+# ----------------------------------------------------------------------
+# digest + cache
+# ----------------------------------------------------------------------
+
+
+class TestTouchedDigest:
+    def test_shared_vertex_always_intersects(self):
+        a = touched_digest(np.array([3, 9, 100]))
+        b = touched_digest(np.array([100, 2000]))
+        assert np.any(a & b)
+
+    def test_empty_set_never_intersects(self):
+        a = touched_digest(np.arange(1000))
+        assert not np.any(a & touched_digest(np.array([], dtype=np.int64)))
+
+    def test_deterministic(self):
+        v = np.array([5, 17, 23])
+        assert np.array_equal(touched_digest(v), touched_digest(v[::-1]))
+
+
+class TestPartialInvalidation:
+    def _parent(self, tree):
+        parent = np.full(16, -1, dtype=np.int64)
+        parent[list(tree)] = 0
+        return parent
+
+    def test_invalidate_roots_drops_only_those(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(metrics=metrics)
+        for root in (1, 2, 3):
+            cache.put("fp", root, self._parent([root]))
+        dropped = cache.invalidate("fp", roots=[2, 9])
+        assert dropped == 1
+        assert cache.get("fp", 1) is not None
+        assert cache.get("fp", 2) is None
+        assert cache.get("fp", 3) is not None
+        assert cache.stats.partial_invalidations == 1
+        assert metrics.counter_total("serve_cache_partial_invalidations") == 1
+
+    def test_invalidate_generation_still_works(self):
+        cache = ResultCache()
+        cache.put("old", 1, self._parent([1]))
+        cache.put("old", 2, self._parent([2]))
+        cache.put("new", 1, self._parent([1]))
+        assert cache.invalidate("old") == 2
+        assert cache.get("new", 1) is not None
+        assert cache.stats.partial_invalidations == 0
+
+    def test_invalidate_all_rejects_roots(self):
+        with pytest.raises(ValueError):
+            ResultCache().invalidate(roots=[1])
+
+    def test_apply_delta_evicts_touched_rekeys_rest(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(metrics=metrics)
+        cache.put("old", 0, self._parent([0, 1, 2]))
+        cache.put("old", 8, self._parent([8, 9]))
+        evicted, rekeyed = cache.apply_delta(
+            "old", "new", touched=np.array([1])
+        )
+        assert (evicted, rekeyed) == (1, 1)
+        # The untouched tree answers under the new fingerprint only.
+        assert cache.get("new", 8) is not None
+        assert cache.get("old", 8) is None
+        assert cache.get("new", 0) is None
+        assert cache.stats.rekeyed == 1
+        assert metrics.counter_total("serve_cache_partial_invalidations") == 1
+
+    def test_apply_delta_explicit_touched_on_put(self):
+        cache = ResultCache()
+        cache.put("old", 3, self._parent([3]), touched=np.array([3, 7]))
+        evicted, rekeyed = cache.apply_delta(
+            "old", "new", touched=np.array([7])
+        )
+        assert (evicted, rekeyed) == (1, 0)
+
+
+# ----------------------------------------------------------------------
+# service ingestion
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def dynamic_service():
+    lo, hi, n = two_rings()
+    machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+    mesh = ProcessMesh(2, 2, machine=machine)
+    inc = IncrementalGraph(
+        lo, hi, n, mesh, e_threshold=8, h_threshold=4, machine=machine
+    )
+    config = BFSConfig(e_threshold=8, h_threshold=4)
+    engine = MultiSourceBFS(inc.graph(), machine=machine, config=config)
+    service = TraversalService(engine, dynamic=inc, batch_window=0.0)
+    return service, inc, machine, config
+
+
+class TestIngestion:
+    def test_ingest_requires_dynamic_graph(self, dynamic_service):
+        service, inc, machine, config = dynamic_service
+        static = TraversalService(service.engine)
+
+        async def main():
+            async with static:
+                await static.ingest_updates([])
+
+        with pytest.raises(RuntimeError, match="dynamic"):
+            run_async(main())
+
+    def test_update_in_one_component_keeps_the_others_cache(
+        self, dynamic_service
+    ):
+        service, inc, machine, config = dynamic_service
+        # (33, 50) lives in component B; digest-checked not to collide
+        # with component A's 32-vertex tree.
+        batch = _insert_batch([(33, 50)])
+
+        async def main():
+            async with service as svc:
+                a = await svc.submit(0)    # component A
+                b = await svc.submit(40)   # component B
+                report = await svc.ingest_updates([batch])
+                a2 = await svc.submit(0)
+                b2 = await svc.submit(40)
+                return a, b, report, a2, b2
+
+        a, b, report, a2, b2 = run_async(main())
+        assert not a.cached and not b.cached
+        assert report.num_batches == 1
+        assert report.cache_rekeyed == 1  # component A's tree survived
+        assert report.cache_evicted == 1  # component B's tree was stale
+        assert a2.cached
+        assert not b2.cached
+        # The patched answer is the rebuilt graph's answer.
+        fresh = MultiSourceBFS(
+            inc.rebuild_reference(), machine=machine, config=config
+        ).run_batch(np.array([40], dtype=np.int64))
+        assert np.array_equal(b2.parent, fresh.lane_parent(0))
+        assert b2.parent[50] == 33 or b2.parent[50] >= 0
+
+    def test_fingerprint_tracks_repaired_graph(self, dynamic_service):
+        service, inc, machine, config = dynamic_service
+        batch = _insert_batch([(35, 60)])
+
+        async def main():
+            async with service as svc:
+                before = svc.graph_fingerprint
+                report = await svc.ingest_updates([batch])
+                return before, report, svc.graph_fingerprint
+
+        before, report, after = run_async(main())
+        assert report.old_fingerprint == before
+        assert report.new_fingerprint == after
+        assert before != after
+        assert after == fingerprint_graph(inc.graph())
+
+    def test_ingest_counts_metrics(self):
+        lo, hi, n = two_rings()
+        machine = MachineSpec(num_nodes=4, nodes_per_supernode=2)
+        mesh = ProcessMesh(2, 2, machine=machine)
+        metrics = MetricsRegistry()
+        inc = IncrementalGraph(
+            lo, hi, n, mesh, e_threshold=8, h_threshold=4,
+            machine=machine, metrics=metrics,
+        )
+        config = BFSConfig(e_threshold=8, h_threshold=4)
+        engine = MultiSourceBFS(inc.graph(), machine=machine, config=config)
+        service = TraversalService(
+            engine, dynamic=inc, batch_window=0.0, metrics=metrics
+        )
+
+        async def main():
+            async with service as svc:
+                await svc.ingest_updates(
+                    [_insert_batch([(34, 62)]), _insert_batch([(36, 58)])]
+                )
+
+        run_async(main())
+        assert metrics.counter_total("serve_ingest_batches") == 2
+        assert metrics.counter_total("serve_ingest_updates") == 2
+        assert metrics.counter_total("dynamic_batches") == 2
