@@ -23,6 +23,11 @@ Subcommands mirror the library's experiment drivers:
 - ``serve`` — run a seeded query workload through the batched traversal
   service (bounded queue, batching window, result cache); ``--validate``
   checks every response bit-for-bit against a sequential run.
+  ``--tenants`` switches to the multi-tenant cluster plane: N replicas
+  serve M resident tenant graphs behind a weighted-fair router with
+  per-tenant quotas and SLOs, driven by a seeded diurnal workload;
+  ``--smoke`` runs the pinned slo-smoke gate (validation plus a mid-run
+  replica kill drill).
 - ``bench-serve`` — the serving benchmark: the deterministic
   amortization sweep (batched vs sequential simulated cost per query)
   plus an end-to-end wall-clock service sweep.
@@ -114,6 +119,47 @@ def _slo_arg(value: str):
         return parse_slo_spec(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _tenants_arg(value: str) -> str:
+    """Validate a ``--tenants`` spec (count or name:class list) at
+    argument time; the spec is re-parsed with the effective scale/mesh/
+    seed later, so the validated raw string is returned."""
+    from repro.cluster.tenants import parse_tenant_spec
+
+    try:
+        parse_tenant_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def _replicas_arg(value: str) -> int:
+    """Parse a positive replica count for ``--replicas``."""
+    try:
+        out = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from exc
+    if out < 1:
+        raise argparse.ArgumentTypeError(
+            f"replicas must be >= 1, got {value!r}"
+        )
+    return out
+
+
+def _quota_arg(value: str) -> int:
+    """Parse a positive per-tenant admission quota for ``--quota``."""
+    try:
+        out = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from exc
+    if out < 1:
+        raise argparse.ArgumentTypeError(f"quota must be >= 1, got {value!r}")
+    return out
 
 
 def _faults_arg(value: str):
@@ -344,6 +390,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the final SLO status matches "
                             "(green = ok with no alerts; fired = degraded "
                             "or alerted)")
+    serve.add_argument("--tenants", type=_tenants_arg, default=None,
+                       metavar="SPEC",
+                       help="multi-tenant mode: a tenant count (3) or "
+                            "name:class list (search:gold,feed:silver); "
+                            "classes gold|silver|bronze set quota, weight "
+                            "and SLOs; each tenant serves its own seeded "
+                            "graph behind the cluster router")
+    serve.add_argument("--replicas", type=_replicas_arg, default=2,
+                       metavar="N",
+                       help="service replicas in multi-tenant mode (>= 1)")
+    serve.add_argument("--quota", type=_quota_arg, default=None, metavar="N",
+                       help="override every tenant's admission quota "
+                            "(default: the SLO class quota)")
+    serve.add_argument("--duration", type=_positive_float_arg, default=0.5,
+                       metavar="SECONDS",
+                       help="diurnal workload duration in multi-tenant mode")
+    serve.add_argument("--smoke", action="store_true",
+                       help="pinned multi-tenant smoke: SCALE-9 tenant "
+                            "graphs on 2x2 meshes, seeded diurnal workload, "
+                            "bit-exact validation, and a mid-run replica "
+                            "kill drill when --replicas >= 2 (the CI "
+                            "slo-smoke gate; implies --tenants 3 unless "
+                            "given)")
 
     bserve = sub.add_parser(
         "bench-serve", parents=[common, backend_p],
@@ -1130,7 +1199,204 @@ class _StragglerEngine:
         return self._engine.run_batch(roots, **kwargs)
 
 
+def _cmd_serve_cluster(args, backend) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.reporting import ascii_table, format_seconds
+    from repro.cluster import (
+        build_registry,
+        parse_tenant_spec,
+        run_cluster_session,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.workload import make_diurnal_workload
+
+    rows, cols = args.mesh
+    scale, seed = args.scale, args.seed
+    queries, duration = args.queries, args.duration
+    hot_fraction, hot_set = args.hot_fraction, args.hot_set
+    validate = args.validate
+    tenants_spec = args.tenants
+    if args.smoke:
+        # Pinned configuration for the CI slo-smoke gate: small tenant
+        # graphs, bit-exact validation, and (with >= 2 replicas) a
+        # mid-run replica kill so the failover path runs every time.
+        scale, rows, cols, seed = 9, 2, 2, 7
+        queries, duration = 120, 0.3
+        hot_fraction, hot_set = 0.8, 8
+        validate = True
+        if tenants_spec is None:
+            tenants_spec = "3"
+    specs = parse_tenant_spec(
+        tenants_spec, scale=scale, rows=rows, cols=cols, seed=seed
+    )
+    if args.quota is not None:
+        specs = [replace(s, quota=args.quota) for s in specs]
+    metrics = MetricsRegistry()
+    registry = build_registry(specs, backend=backend)
+    workload = make_diurnal_workload(
+        registry.degrees_map(), queries, seed=seed,
+        duration_seconds=duration,
+        hot_fraction=hot_fraction, hot_set_size=hot_set,
+    )
+    kill_at = None
+    if args.smoke and args.replicas >= 2:
+        kill_at = ("r0", queries // 2)
+    expected = None
+    if validate:
+        expected = {}
+        for tenant in registry:
+            mine = sorted(
+                {q.root for q in workload.queries
+                 if q.tenant == tenant.tenant_id}
+            )
+            expected[tenant.tenant_id] = {
+                r: tenant.sequential.run(r).parent for r in mine
+            }
+    telemetry = None
+    if args.telemetry_port is not None:
+        telemetry = dict(
+            port=args.telemetry_port, interval=args.telemetry_interval
+        )
+    session = run_cluster_session(
+        registry, workload,
+        replicas=args.replicas, expected=expected,
+        max_shed_retries=10_000, kill_at=kill_at, telemetry=telemetry,
+        batch_size=args.batch_size, batch_window=args.batch_window,
+        metrics=metrics,
+    )
+    if telemetry is None:
+        report, cluster = session
+        telem = None
+    else:
+        report, cluster, telem = session
+    per_tenant = report.per_tenant()
+    slo_docs = cluster.slo_status()
+    table_rows = []
+    for tenant in registry:
+        tid = tenant.tenant_id
+        sub = per_tenant.get(tid)
+        stats = tenant.stats
+        slo_state = slo_docs.get(tid, {}).get("status", "ok")
+        table_rows.append([
+            tid, tenant.spec.slo_class,
+            sub.num_queries if sub else 0,
+            sub.served if sub else 0,
+            sub.typed_sheds if sub else 0,
+            sub.failed if sub else 0,
+            f"{100 * stats.cache_hit_rate:.0f}%",
+            format_seconds(stats.p50_seconds),
+            format_seconds(stats.p99_seconds),
+            slo_state,
+        ])
+    print(ascii_table(
+        ("tenant", "class", "queries", "served", "sheds", "failed",
+         "hit rate", "p50", "p99", "slo"),
+        table_rows,
+        title=f"cluster serving: {len(registry)} tenants x "
+              f"{args.replicas} replicas (SCALE {scale}, {rows}x{cols} "
+              f"per tenant), {queries} queries over {duration:g}s "
+              f"diurnal workload:",
+    ))
+    print(f"aggregate: {report.served} served "
+          f"({report.cache_hits} cached), {report.typed_sheds} typed "
+          f"sheds, {report.failed} failed, "
+          f"{report.num_queries - report.accounted} silently dropped; "
+          f"{cluster.stats.batches} batches, "
+          f"{cluster.stats.replays} failover replays; "
+          f"replicas live: {len(cluster.live_replicas)}/"
+          f"{len(cluster.replica_ids)}")
+    ok = True
+    if report.accounted != report.num_queries:
+        print(f"FAIL: {report.num_queries - report.accounted} queries "
+              "got no response and no typed shed")
+        ok = False
+    if report.failed:
+        print(f"FAIL: {report.failed} queries failed")
+        ok = False
+    if expected is not None and report.wrong_parents:
+        print(f"FAIL: {report.wrong_parents}/{report.validated} validated "
+              "parents wrong")
+        ok = False
+    elif expected is not None:
+        print(f"validated: {report.validated} responses bit-identical to "
+              "sequential runs")
+    if kill_at is not None:
+        downs = len(cluster.replica_ids) - len(cluster.live_replicas)
+        if downs != 1:
+            print(f"FAIL: kill drill expected exactly 1 replica down, "
+                  f"found {downs}")
+            ok = False
+        else:
+            print(f"failover drill: replica {kill_at[0]} killed mid-run; "
+                  "in-flight batch re-routed, parents validated")
+    if args.min_hit_rate is not None \
+            and not report.cache_hit_rate > args.min_hit_rate:
+        print(f"FAIL: cache hit rate {report.cache_hit_rate:.3f} "
+              f"not above {args.min_hit_rate:g}")
+        ok = False
+    if telem is not None:
+        print(f"telemetry: port {telem.port}, {telem.samples} samples, "
+              f"scrapes {telem.scrapes}")
+        if not telem.scrapes.get("/metrics") \
+                or not telem.scrapes.get("/healthz"):
+            print("FAIL: telemetry endpoint was never scraped successfully")
+            ok = False
+    if args.out:
+        import json
+        from pathlib import Path
+
+        doc = {
+            "config": {
+                "scale": scale, "mesh": f"{rows}x{cols}", "seed": seed,
+                "replicas": args.replicas, "queries": queries,
+                "duration_seconds": duration,
+                "tenants": {t.tenant_id: t.spec.slo_class for t in registry},
+            },
+            "tenants": {
+                tid: {
+                    "slo_class": self_doc["slo_class"],
+                    "requests": self_doc["requests"],
+                    "completed": self_doc["completed"],
+                    "cache_hits": self_doc["cache_hits"],
+                    "shed": self_doc["shed"],
+                    "failed": self_doc["failed"],
+                    "p50_seconds": self_doc["p50_seconds"],
+                    "p99_seconds": self_doc["p99_seconds"],
+                }
+                for tid, self_doc in
+                cluster.tenants_snapshot()["tenants"].items()
+            },
+            "report": {
+                "num_queries": report.num_queries,
+                "served": report.served,
+                "cache_hits": report.cache_hits,
+                "typed_sheds": report.typed_sheds,
+                "failed": report.failed,
+                "accounted": report.accounted,
+                "validated": report.validated,
+                "wrong_parents": report.wrong_parents,
+                "p50_seconds": report.latency_percentile(50),
+                "p99_seconds": report.latency_percentile(99),
+            },
+            "slo": slo_docs,
+            "replicas": {
+                rid: rid in cluster.live_replicas
+                for rid in cluster.replica_ids
+            },
+            "gate_passed": ok,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    print("cluster gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_serve_impl(args, backend) -> int:
+    if args.tenants is not None or args.smoke:
+        return _cmd_serve_cluster(args, backend)
     from repro.analysis.reporting import ascii_table, format_seconds
     from repro.obs.export import write_chrome_trace
     from repro.obs.metrics import MetricsRegistry

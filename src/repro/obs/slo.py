@@ -146,6 +146,7 @@ class SLOMonitor:
         specs=DEFAULT_SLOS,
         *,
         metric: str = "serve_latency_seconds",
+        match: dict | None = None,
         clock=time.monotonic,
     ) -> None:
         specs = tuple(specs)
@@ -156,6 +157,11 @@ class SLOMonitor:
             raise ValueError(f"duplicate SLO specs: {names}")
         self.registry = registry
         self.metric = metric
+        #: Extra label constraints every selected histogram must carry
+        #: (e.g. ``{"tenant": "t0"}`` narrows a tenant-labeled latency
+        #: family to one tenant's series); the ``stage`` label from the
+        #: spec is always applied on top.
+        self.match = dict(match or {})
         self._clock = clock
         self._states = [_SpecState(s) for s in specs]
         self.alerts: list[SLOAlert] = []
@@ -174,6 +180,8 @@ class SLOMonitor:
         good = 0
         for labels, hist in self.registry.samples(self.metric):
             if labels.get("stage") != spec.stage:
+                continue
+            if any(labels.get(k) != v for k, v in self.match.items()):
                 continue
             observed += int(hist.count)
             bounds = getattr(hist, "bounds", ())

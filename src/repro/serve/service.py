@@ -117,19 +117,53 @@ class Overloaded(RuntimeError):
     """Typed admission-control rejection: the request queue is full.
 
     Clients treat this as backpressure — back off and retry; the request
-    was never enqueued.
+    was never enqueued.  The rejection is *attributable*: it carries the
+    tenant id (multi-tenant serving; ``""`` for a single-graph service)
+    and the shed request's trace id, so shed counts in logs and workload
+    reports can be pinned to a tenant and a specific request.
     """
 
-    def __init__(self, queue_depth: int, limit: int) -> None:
+    def __init__(
+        self,
+        queue_depth: int,
+        limit: int,
+        *,
+        tenant: str = "",
+        trace_id: str = "",
+    ) -> None:
+        detail = ""
+        if tenant:
+            detail += f" tenant={tenant}"
+        if trace_id:
+            detail += f" trace={trace_id}"
         super().__init__(
             f"request queue full ({queue_depth}/{limit}); request shed"
+            + (f" [{detail.strip()}]" if detail else "")
         )
         self.queue_depth = queue_depth
         self.limit = limit
+        self.tenant = tenant
+        self.trace_id = trace_id
 
 
 class TraversalError(RuntimeError):
-    """A batch exhausted its replay budget; its requests failed."""
+    """A batch exhausted its replay budget; its requests failed.
+
+    Like :class:`Overloaded`, the failure carries the tenant id and the
+    failed request's trace id for attribution.
+    """
+
+    def __init__(
+        self, message: str, *, tenant: str = "", trace_id: str = ""
+    ) -> None:
+        detail = ""
+        if tenant:
+            detail += f" tenant={tenant}"
+        if trace_id:
+            detail += f" trace={trace_id}"
+        super().__init__(message + (f" [{detail.strip()}]" if detail else ""))
+        self.tenant = tenant
+        self.trace_id = trace_id
 
 
 @dataclass
@@ -164,6 +198,8 @@ class TraversalResponse:
     root: int
     #: Request-scoped trace id (keys :meth:`TraversalService.request_timeline`).
     trace_id: str = ""
+    #: Owning tenant in multi-tenant serving ("" for a single-graph service).
+    tenant: str = ""
     parent: np.ndarray | None = field(repr=False, default=None)
     cached: bool = False
     #: Lanes in the batch that served it (0 for cache hits).
@@ -218,8 +254,11 @@ class ServeStats:
         )
 
     def latency_percentile(self, q: float) -> float:
+        """Percentile ``q`` of sampled total latencies, or ``nan`` when
+        the reservoir is empty (an idle tenant has no latencies; report
+        builders render ``nan`` rather than crash or fake a zero)."""
         if not len(self.total_latencies):
-            return 0.0
+            return float("nan")
         return float(np.percentile(np.asarray(self.total_latencies), q))
 
     @property
@@ -545,7 +584,9 @@ class TraversalService:
         if len(self._queue) >= self.queue_depth:
             self.stats.shed += 1
             self._metrics.counter("serve_requests", outcome="shed").inc()
-            raise Overloaded(len(self._queue), self.queue_depth)
+            raise Overloaded(
+                len(self._queue), self.queue_depth, trace_id=trace_id
+            )
         future = asyncio.get_running_loop().create_future()
         request = _Request(
             root=root, future=future, submitted_at=t0, trace_id=trace_id
@@ -650,7 +691,9 @@ class TraversalService:
             self._metrics.counter(
                 "serve_programs", program=program, outcome="shed"
             ).inc()
-            raise Overloaded(self.pending, self.queue_depth)
+            raise Overloaded(
+                self.pending, self.queue_depth, trace_id=trace_id
+            )
 
         engine = self._resolve_program_engine()
         run_params = dict(params)
@@ -699,7 +742,8 @@ class TraversalService:
                         raise TraversalError(
                             f"program {program!r} query failed after "
                             f"{self.max_replays} replays (injected rank "
-                            "crash)"
+                            "crash)",
+                            trace_id=trace_id,
                         ) from None
                     self.stats.replays += 1
                     self._metrics.counter("serve_batch_replays").inc()
@@ -832,10 +876,6 @@ class TraversalService:
                 self._metrics.gauge("serve_queue_depth").set(len(self._queue))
                 self._wake.set()
                 return
-            error = TraversalError(
-                f"batch of {len(batch)} requests failed after "
-                f"{self.max_replays} replays (injected rank crash)"
-            )
             self.stats.failed += len(batch)
             self._metrics.counter("serve_requests", outcome="failed").inc(
                 len(batch)
@@ -849,7 +889,16 @@ class TraversalService:
                     )
                 )
                 if not request.future.done():
-                    request.future.set_exception(error)
+                    # One error per request so each carries its own
+                    # trace id for attribution.
+                    request.future.set_exception(
+                        TraversalError(
+                            f"batch of {len(batch)} requests failed after "
+                            f"{self.max_replays} replays (injected rank "
+                            "crash)",
+                            trace_id=request.trace_id,
+                        )
+                    )
             return
         t_done = self._clock()
         traversal = t_done - t_exec

@@ -19,6 +19,18 @@ path          payload
               aged out)
 ============  =========================================================
 
+When built with ``cluster=`` a :class:`~repro.cluster.service.ClusterService`
+(which also satisfies the ``service`` surface), two multi-tenant views
+appear and ``/slo`` changes shape:
+
+================  =====================================================
+``/tenants``      per-tenant queue depth/quota/weight/deficit, serving
+                  counters, percentiles, and replica liveness
+``/slo``          tenant id -> that tenant's
+                  :meth:`~repro.obs.slo.SLOMonitor.evaluate` document
+``/slo/<tenant>`` one tenant's SLO document (404 for unknown tenants)
+================  =====================================================
+
 HTTP support is deliberately tiny — GET only, one response per
 connection (``Connection: close``) — which is all ``curl``, Prometheus,
 and the CI smoke scraper need.  Bind to port 0 for an ephemeral port
@@ -50,11 +62,15 @@ class TelemetryServer:
         port: int = 0,
         sampler=None,
         slo_monitor=None,
+        cluster=None,
     ) -> None:
         self.service = service
         self.registry = registry
         self.sampler = sampler
         self.slo_monitor = slo_monitor
+        #: Multi-tenant mode: the owning ClusterService (enables the
+        #: /tenants and per-tenant /slo views).
+        self.cluster = cluster
         self._host = host
         self._port = int(port)
         self._server: asyncio.AbstractServer | None = None
@@ -143,9 +159,33 @@ class TelemetryServer:
         if path == "/healthz":
             return 200, "application/json", _json(self._health())
         if path == "/slo":
+            if self.cluster is not None:
+                return 200, "application/json", _json(
+                    self.cluster.slo_status()
+                )
             if self.slo_monitor is None:
                 return 200, "application/json", _json({"status": "disabled"})
             return 200, "application/json", _json(self.slo_monitor.evaluate())
+        if path.startswith("/slo/"):
+            if self.cluster is None:
+                return 404, "application/json", _json(
+                    {"error": "not a multi-tenant service"}
+                )
+            tenant_id = path[len("/slo/"):]
+            monitor = self.cluster.slo_monitors.get(tenant_id)
+            if monitor is None:
+                return 404, "application/json", _json(
+                    {"error": f"unknown tenant {tenant_id!r}"}
+                )
+            return 200, "application/json", _json(monitor.evaluate())
+        if path == "/tenants":
+            if self.cluster is None:
+                return 404, "application/json", _json(
+                    {"error": "not a multi-tenant service"}
+                )
+            return 200, "application/json", _json(
+                self.cluster.tenants_snapshot()
+            )
         if path == "/timeline":
             if self.sampler is None:
                 return 200, "application/json", _json({"status": "disabled"})

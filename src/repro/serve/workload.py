@@ -1,6 +1,6 @@
-"""Seeded closed-loop workload generation for the traversal service.
+"""Seeded workload generation for the traversal serving planes.
 
-Two pieces:
+Single-graph pieces:
 
 - :func:`make_workload_roots` — a seeded query stream over the graph's
   non-isolated vertices with a configurable *hot set*, so repeated roots
@@ -11,9 +11,26 @@ Two pieces:
   query's outcome — served, cached, failed, and whether the returned
   parent tree matched the expected one — is recorded.
 
-The CI smoke and ``bench-serve`` both drive the service through this
-module, so "zero wrong parents / zero dropped non-shed requests" is
-asserted against the exact client behavior a user would write.
+Multi-tenant pieces (consumed by :mod:`repro.cluster`):
+
+- :func:`pareto_popularity` — seeded heavy-tail tenant popularity: each
+  tenant's traffic share is a normalized Pareto draw, so a few tenants
+  dominate the stream the way production traffic does.
+- :func:`make_diurnal_workload` — a seeded *timed* query stream over
+  many tenants: arrival times follow a sinusoidal (diurnal) rate curve
+  via inverse-CDF sampling, tenants are drawn by Pareto popularity, and
+  each tenant's roots come from its own :func:`make_workload_roots`
+  stream.  Identical ``seed`` and parameters give a bit-identical
+  workload (arrival floats included).
+
+Every query's journey is a :class:`QueryOutcome` (now tenant-tagged);
+:meth:`WorkloadReport.per_tenant` splits a report into per-tenant
+sub-reports so fairness and SLO gates can compare tenants directly.
+
+The CI smokes and the serving benchmarks all drive services through
+this module, so "zero wrong parents / zero dropped-without-typed-shed
+responses" is asserted against the exact client behavior a user would
+write.
 """
 
 from __future__ import annotations
@@ -32,10 +49,14 @@ from repro.serve.service import (
 
 __all__ = [
     "make_workload_roots",
+    "pareto_popularity",
+    "make_diurnal_workload",
     "run_workload",
     "run_serving_session",
     "QueryOutcome",
     "WorkloadReport",
+    "ClusterQuery",
+    "ClusterWorkload",
     "TelemetrySummary",
     "http_get",
 ]
@@ -73,11 +94,174 @@ def make_workload_roots(
     return roots.astype(np.int64)
 
 
+def pareto_popularity(tenants, *, alpha: float = 1.1, seed: int) -> dict:
+    """Seeded heavy-tail traffic shares: tenant -> fraction of queries.
+
+    One normalized ``Pareto(alpha) + 1`` draw per tenant, sorted
+    descending before assignment so the *first* tenant in the given
+    order is always the heaviest — callers can rely on ``tenants[0]``
+    being the hot tenant.  Smaller ``alpha`` means a heavier tail.
+    """
+    tenants = list(tenants)
+    if not tenants:
+        raise ValueError("at least one tenant is required")
+    if alpha <= 0:
+        raise ValueError("alpha must be > 0")
+    rng = np.random.default_rng(seed)
+    draws = np.sort(rng.pareto(alpha, size=len(tenants)) + 1.0)[::-1]
+    shares = draws / draws.sum()
+    return {t: float(s) for t, s in zip(tenants, shares)}
+
+
+@dataclass(frozen=True)
+class ClusterQuery:
+    """One timed query of a multi-tenant workload."""
+
+    arrival_seconds: float
+    tenant: str
+    root: int
+
+
+@dataclass
+class ClusterWorkload:
+    """A seeded multi-tenant query stream, sorted by arrival time."""
+
+    queries: list = field(default_factory=list)
+    #: Tenant -> sampled traffic share (sums to 1).
+    popularity: dict = field(default_factory=dict)
+    duration_seconds: float = 0.0
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def per_tenant_counts(self) -> dict:
+        counts: dict[str, int] = {t: 0 for t in self.popularity}
+        for q in self.queries:
+            counts[q.tenant] = counts.get(q.tenant, 0) + 1
+        return counts
+
+    def for_tenant(self, tenant: str) -> "ClusterWorkload":
+        """The sub-stream of one tenant (arrival times preserved)."""
+        return ClusterWorkload(
+            queries=[q for q in self.queries if q.tenant == tenant],
+            popularity={tenant: self.popularity.get(tenant, 1.0)},
+            duration_seconds=self.duration_seconds,
+        )
+
+
+def _tenant_seed(seed: int, index: int) -> int:
+    """A derived per-tenant sub-seed (stable, collision-resistant)."""
+    return (seed * 0x9E3779B1 + (index + 1) * 0x85EBCA77) & 0x7FFFFFFF
+
+
+def make_diurnal_workload(
+    tenant_degrees,
+    num_queries: int,
+    *,
+    seed: int,
+    duration_seconds: float = 1.0,
+    period_seconds: float | None = None,
+    peak_to_trough: float = 4.0,
+    alpha: float = 1.1,
+    popularity: dict | None = None,
+    hot_fraction: float = 0.5,
+    hot_set_size: int = 16,
+) -> ClusterWorkload:
+    """A seeded diurnal + heavy-tail multi-tenant query stream.
+
+    ``tenant_degrees`` maps tenant id -> that tenant's graph degree
+    vector (iteration order fixes the tenant order).  Three seeded
+    draws compose the stream:
+
+    - **arrivals**: exactly ``num_queries`` arrival times on
+      ``[0, duration_seconds)`` sampled by inverse CDF from the
+      sinusoidal rate ``r(t) = 1 + a*sin(2*pi*t/period)`` with ``a``
+      chosen so peak rate / trough rate = ``peak_to_trough`` (the
+      diurnal curve, one full cycle per ``period_seconds``, default one
+      cycle over the whole duration);
+    - **tenant of each query**: drawn from :func:`pareto_popularity`
+      shares (or an explicit ``popularity`` map, normalized here);
+    - **roots**: each tenant's roots come from its own seeded
+      :func:`make_workload_roots` hot/cold stream, so repeats exercise
+      that tenant's cache.
+
+    The result is bit-reproducible from ``seed`` — same floats, same
+    order — which is what lets benchmarks drift-gate per-tenant query
+    counts.
+    """
+    tenant_degrees = dict(tenant_degrees)
+    if not tenant_degrees:
+        raise ValueError("at least one tenant is required")
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be > 0")
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    tenants = list(tenant_degrees)
+    if popularity is None:
+        popularity = pareto_popularity(tenants, alpha=alpha, seed=seed)
+    else:
+        missing = set(tenants) - set(popularity)
+        if missing:
+            raise ValueError(f"popularity missing tenants: {sorted(missing)}")
+        total = float(sum(popularity[t] for t in tenants))
+        if total <= 0:
+            raise ValueError("popularity weights must sum to > 0")
+        popularity = {t: float(popularity[t]) / total for t in tenants}
+
+    rng = np.random.default_rng(seed)
+    period = float(period_seconds or duration_seconds)
+    # Amplitude from the peak:trough ratio r: (1+a)/(1-a) = r.
+    amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    # Inverse-CDF sampling of the sinusoidal density on a fine grid:
+    # cumulative rate R(t) = t + (a*period/2pi) * (1 - cos(2pi t/period)).
+    grid = np.linspace(0.0, duration_seconds, 4096)
+    cum = grid + amp * period / (2 * np.pi) * (
+        1.0 - np.cos(2 * np.pi * grid / period)
+    )
+    cdf = cum / cum[-1]
+    arrivals = np.sort(
+        np.interp(rng.random(num_queries), cdf, grid)
+    )
+    shares = np.array([popularity[t] for t in tenants])
+    tenant_picks = rng.choice(len(tenants), size=num_queries, p=shares)
+    counts = np.bincount(tenant_picks, minlength=len(tenants))
+    root_streams = {}
+    for idx, tenant in enumerate(tenants):
+        if counts[idx]:
+            root_streams[tenant] = iter(
+                make_workload_roots(
+                    tenant_degrees[tenant],
+                    int(counts[idx]),
+                    seed=_tenant_seed(seed, idx),
+                    hot_fraction=hot_fraction,
+                    hot_set_size=hot_set_size,
+                )
+            )
+    queries = [
+        ClusterQuery(
+            arrival_seconds=float(t),
+            tenant=tenants[pick],
+            root=int(next(root_streams[tenants[pick]])),
+        )
+        for t, pick in zip(arrivals, tenant_picks)
+    ]
+    return ClusterWorkload(
+        queries=queries,
+        popularity=popularity,
+        duration_seconds=float(duration_seconds),
+    )
+
+
 @dataclass
 class QueryOutcome:
-    """One query's journey through the service."""
+    """One query's journey through a service."""
 
     root: int
+    #: Owning tenant id ("" when driving a single-graph service).
+    tenant: str = ""
     cached: bool = False
     #: ``True``/``False`` when validated against an expected parent
     #: tree, ``None`` when no expectation was supplied.
@@ -85,6 +269,9 @@ class QueryOutcome:
     total_seconds: float = 0.0
     batch_lanes: int = 0
     shed_retries: int = 0
+    #: The query ended in a *typed* shed (``Overloaded`` surfaced to the
+    #: client as the terminal outcome — accounted, never silently lost).
+    shed: bool = False
     error: str | None = None
 
     @property
@@ -94,7 +281,7 @@ class QueryOutcome:
 
 @dataclass
 class WorkloadReport:
-    """Aggregate outcomes of one closed-loop run."""
+    """Aggregate outcomes of one workload run."""
 
     outcomes: list = field(default_factory=list)
 
@@ -112,7 +299,22 @@ class WorkloadReport:
 
     @property
     def failed(self) -> int:
-        return sum(1 for o in self.outcomes if o.error is not None)
+        """Queries that ended in an error other than a typed shed."""
+        return sum(
+            1 for o in self.outcomes if o.error is not None and not o.shed
+        )
+
+    @property
+    def typed_sheds(self) -> int:
+        """Queries whose terminal outcome was a typed ``Overloaded``."""
+        return sum(1 for o in self.outcomes if o.shed)
+
+    @property
+    def accounted(self) -> int:
+        """Queries with *some* recorded outcome (served, failed, or
+        typed shed) — ``num_queries - accounted`` would be silent drops,
+        and the gates require it to be zero."""
+        return self.served + self.failed + self.typed_sheds
 
     @property
     def shed_retries(self) -> int:
@@ -131,10 +333,21 @@ class WorkloadReport:
         return self.cache_hits / self.served if self.served else 0.0
 
     def latency_percentile(self, q: float) -> float:
+        """Percentile ``q`` of served total latencies, or ``nan`` when
+        nothing was served (an idle tenant's sub-report must not crash
+        the builder assembling per-tenant rows)."""
         samples = [o.total_seconds for o in self.outcomes if o.served]
         if not samples:
-            return 0.0
+            return float("nan")
         return float(np.percentile(np.asarray(samples), q))
+
+    def per_tenant(self) -> "dict[str, WorkloadReport]":
+        """Split into per-tenant sub-reports (insertion-ordered by first
+        appearance; single-graph runs collapse to the ``""`` tenant)."""
+        split: dict[str, WorkloadReport] = {}
+        for o in self.outcomes:
+            split.setdefault(o.tenant, WorkloadReport()).outcomes.append(o)
+        return split
 
 
 async def run_workload(
